@@ -1,0 +1,90 @@
+"""Ablations (DESIGN.md experiments A2-A3): design-choice sweeps.
+
+Each test sweeps one reconstructed parameter on one trace and prints
+the sensitivity table.  These are the knobs EXPERIMENTS.md's
+calibration discussion refers to.
+"""
+
+import pytest
+
+from conftest import bench_scale
+
+from repro.experiments.ablations import (
+    cpu_threshold_ablation,
+    fault_cost_ablation,
+    load_info_staleness_ablation,
+    max_reserved_ablation,
+    network_ram_ablation,
+    network_speed_ablation,
+    reservation_mode_ablation,
+    residency_alpha_ablation,
+    victim_ranking_ablation,
+)
+from repro.workload.programs import WorkloadGroup
+
+GROUP = WorkloadGroup.APP
+TRACE = 3
+
+
+def run_and_print(benchmark, fn, **kwargs):
+    result = benchmark.pedantic(
+        lambda: fn(group=GROUP, trace_index=TRACE, scale=bench_scale(),
+                   **kwargs),
+        rounds=1, iterations=1)
+    print()
+    print(result.render())
+    return result
+
+
+def test_reservation_mode(benchmark):
+    result = run_and_print(benchmark, reservation_mode_ablation)
+    assert {row["variant"] for row in result.rows} == {"drain-all",
+                                                       "first-fit"}
+
+
+def test_residency_alpha(benchmark):
+    result = run_and_print(benchmark, residency_alpha_ablation)
+    assert len(result.rows) == 4
+
+
+def test_fault_cost(benchmark):
+    result = run_and_print(benchmark, fault_cost_ablation)
+    # A stronger fault model broadly raises paging, but scheduling
+    # feedback (migrations, placement changes) makes the relation
+    # non-monotone at small magnitudes — assert only a loose ordering.
+    pages = [row["page (s)"] for row in result.rows]
+    assert all(page >= 0 for page in pages)
+    assert pages[0] <= pages[-1] * 3.0 + 60.0
+
+
+def test_network_speed(benchmark):
+    result = run_and_print(benchmark, network_speed_ablation)
+    assert len(result.rows) == 3
+
+
+def test_load_info_staleness(benchmark):
+    result = run_and_print(benchmark, load_info_staleness_ablation)
+    assert len(result.rows) == 4
+
+
+def test_cpu_threshold(benchmark):
+    result = run_and_print(benchmark, cpu_threshold_ablation)
+    assert len(result.rows) == 4
+
+
+def test_max_reserved(benchmark):
+    result = run_and_print(benchmark, max_reserved_ablation)
+    assert len(result.rows) == 4
+
+
+def test_victim_ranking(benchmark):
+    result = run_and_print(benchmark, victim_ranking_ablation)
+    assert {row["variant"] for row in result.rows} == {"demand-only",
+                                                       "demand-x-age"}
+
+
+def test_network_ram(benchmark):
+    result = run_and_print(benchmark, network_ram_ablation)
+    off, on = result.rows
+    # remote-memory fault service cannot increase paging time
+    assert on["page (s)"] <= off["page (s)"] + 1e-6

@@ -1,0 +1,32 @@
+"""Baseline sweep (DESIGN.md experiment A4): every policy, one trace.
+
+Compares no-sharing, CPU-only, memory-only, suspension, G-Loadsharing,
+and V-Reconfiguration on the same workload (§1-2's design space).
+"""
+
+from conftest import bench_scale
+
+from repro.experiments.ablations import baseline_sweep
+from repro.workload.programs import WorkloadGroup
+
+
+def test_policy_comparison(benchmark):
+    result = benchmark.pedantic(
+        lambda: baseline_sweep(group=WorkloadGroup.APP, trace_index=3,
+                               scale=bench_scale()),
+        rounds=1, iterations=1)
+    print()
+    print(result.render())
+    by_policy = {row["variant"]: row for row in result.rows}
+    assert len(by_policy) == 7
+    # Load sharing must not lose to no load sharing on queuing time:
+    # the central premise of the literature the paper builds on.  (At
+    # quick scale the load can be light enough that every job runs at
+    # home under both policies, making them exactly equal.)
+    assert (by_policy["g-loadsharing"]["queue (s)"]
+            <= by_policy["local"]["queue (s)"])
+    # CPU+memory sharing does not lose meaningfully to count-only
+    # balancing on paging: it avoids known-full nodes.  (At quick
+    # scale both paging totals are near zero; compare with slack.)
+    assert (by_policy["g-loadsharing"]["page (s)"]
+            <= by_policy["cpu"]["page (s)"] * 1.5 + 60.0)

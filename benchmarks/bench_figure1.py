@@ -1,0 +1,27 @@
+"""Figure 1: total execution and queuing times, workload group 1.
+
+Runs SPEC traces under G-Loadsharing and V-Reconfiguration and prints
+the comparison rows with the paper's reported reductions alongside.
+Quick mode subsamples; REPRO_FULL=1 runs the paper's configuration.
+"""
+
+from conftest import bench_scale, bench_traces
+
+from repro.experiments.figures import figure1
+
+
+def run():
+    return figure1(scale=bench_scale(), trace_indices=bench_traces())
+
+
+def test_figure1(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert len(result.baseline) == len(result.improved)
+    for base, improved in zip(result.baseline, result.improved):
+        assert base.num_jobs == improved.num_jobs
+        assert base.num_jobs > 0
+        # every job finished in both runs (summaries exist only then)
+        assert base.total_execution_time_s > 0
+        assert improved.total_execution_time_s > 0

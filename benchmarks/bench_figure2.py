@@ -1,0 +1,25 @@
+"""Figure 2: average slowdowns and idle memory volumes, group 1.
+
+Runs the traces under G-Loadsharing and V-Reconfiguration and prints
+the comparison rows with the paper's reported reductions alongside.
+Quick mode subsamples; REPRO_FULL=1 runs the paper's configuration.
+"""
+
+from conftest import bench_scale, bench_traces
+
+from repro.experiments.figures import figure2
+
+
+def run():
+    return figure2(scale=bench_scale(), trace_indices=bench_traces())
+
+
+def test_figure2(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert len(result.baseline) == len(result.improved)
+    for base, improved in zip(result.baseline, result.improved):
+        assert base.num_jobs == improved.num_jobs
+        assert base.average_slowdown >= 1.0
+        assert improved.average_slowdown >= 1.0

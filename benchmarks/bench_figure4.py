@@ -1,0 +1,25 @@
+"""Figure 4: average slowdowns and job balance skews, group 2.
+
+Runs the traces under G-Loadsharing and V-Reconfiguration and prints
+the comparison rows with the paper's reported reductions alongside.
+Quick mode subsamples; REPRO_FULL=1 runs the paper's configuration.
+"""
+
+from conftest import bench_scale, bench_traces
+
+from repro.experiments.figures import figure4
+
+
+def run():
+    return figure4(scale=bench_scale(), trace_indices=bench_traces())
+
+
+def test_figure4(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    assert len(result.baseline) == len(result.improved)
+    for base, improved in zip(result.baseline, result.improved):
+        assert base.num_jobs == improved.num_jobs
+        assert base.average_slowdown >= 1.0
+        assert improved.average_slowdown >= 1.0

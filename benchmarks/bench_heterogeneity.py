@@ -1,0 +1,31 @@
+"""Heterogeneous-cluster experiment (paper §2.3/§6 extension).
+
+Capacity-neutral heterogeneity: a quarter of the nodes get double
+memory and 1.5x CPU; §2.3 predicts reservations gravitate to the
+big-memory nodes.
+"""
+
+from conftest import bench_scale
+
+from repro.experiments.heterogeneity import run_heterogeneity_experiment
+from repro.workload.programs import WorkloadGroup
+
+
+def test_heterogeneity(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_heterogeneity_experiment(
+            group=WorkloadGroup.APP, trace_index=3,
+            scale=bench_scale()),
+        rounds=1, iterations=1)
+    print()
+    print(report.render())
+    assert len(report.rows) == 4
+    homogeneous = [row for row in report.rows
+                   if row["cluster"] == "homogeneous"]
+    heterogeneous = [row for row in report.rows
+                     if row["cluster"] == "heterogeneous"]
+    assert homogeneous and heterogeneous
+    # §2.3's placement prediction, when reservations occurred at all
+    verdict = report.reservations_prefer_big_nodes
+    if verdict is not None:
+        print(f"reservations prefer big-memory nodes: {verdict}")

@@ -1,0 +1,50 @@
+"""Table 2: the 7 application program characteristics (reconstructed).
+
+As for Table 1, the measured component is dedicated-environment
+profiling on a cluster-2 workstation (233 MHz, 128 MB): each program
+runs alone; its lifetime, working-set range, and I/O activity are the
+table's columns.
+"""
+
+import pytest
+
+from repro.cluster import Cluster
+from repro.cluster.config import APP_CLUSTER
+from repro.cluster.job import Job
+from repro.experiments.tables import render_table2
+from repro.workload.programs import APP_PROGRAMS
+
+
+def profile_program(program):
+    cluster = Cluster(APP_CLUSTER.replace(num_nodes=1))
+    profile = program.memory_profile(program.lifetime_s,
+                                     program.working_set_mb)
+    job = Job(program=program.name, cpu_work_s=program.lifetime_s,
+              memory=profile,
+              io_stall_per_cpu_s=program.io_stall_per_cpu_s)
+    cluster.nodes[0].add_job(job)
+    cluster.sim.run()
+    return job
+
+
+@pytest.mark.parametrize("program", APP_PROGRAMS,
+                         ids=[p.name for p in APP_PROGRAMS])
+def test_dedicated_profile_matches_table(benchmark, program):
+    job = benchmark(profile_program, program)
+    assert job.finished
+    # Wall time = CPU lifetime plus the program's I/O stalls; no
+    # paging in a dedicated environment.
+    expected_wall = program.lifetime_s * (1.0 + program.io_stall_per_cpu_s)
+    assert job.finish_time == pytest.approx(expected_wall, rel=1e-6)
+    assert job.acct.page_s == pytest.approx(0.0)
+    assert job.acct.io_s == pytest.approx(
+        program.lifetime_s * program.io_stall_per_cpu_s, rel=1e-6)
+    # ranged working sets stay within the table's range
+    if program.working_set_min_mb > 0:
+        demands = [phase.demand_mb for phase in job.memory.phases]
+        assert min(demands) >= program.working_set_min_mb
+
+
+def test_print_table2():
+    print()
+    print(render_table2())

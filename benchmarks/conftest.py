@@ -1,0 +1,28 @@
+"""Benchmark configuration.
+
+Set ``REPRO_FULL=1`` to run the paper's full-scale configurations
+(all five traces, no subsampling — minutes per figure).  The default
+quick mode subsamples traces and runs a trace subset so the whole
+benchmark suite finishes in a few minutes while still exercising every
+experiment end-to-end.
+"""
+
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(__file__))
+
+FULL = os.environ.get("REPRO_FULL", "0") == "1"
+
+#: Trace subsampling factor for quick mode.
+QUICK_SCALE = 0.25
+#: Trace indices exercised in quick mode (light / normal / heavy).
+QUICK_TRACES = [1, 3, 5]
+
+
+def bench_scale() -> float:
+    return 1.0 if FULL else QUICK_SCALE
+
+
+def bench_traces():
+    return None if FULL else list(QUICK_TRACES)

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Reproduce one of the paper's published trace experiments.
+
+Generates SPEC-Trace-3 (578 jobs, ~3581 s, the "normal" submission
+rate), replays it on the paper's 32-node cluster 1 under both
+policies, and prints the Figure 1/2 quantities for that trace.
+
+Run:  python examples/paper_traces.py [trace_index] [--app]
+"""
+
+import sys
+
+from repro.experiments.runner import default_config, run_experiment
+from repro.metrics.report import percentage_reduction
+from repro.workload.generator import build_trace, program_mix
+from repro.workload.programs import WorkloadGroup
+from repro.workload.trace import summarize
+
+
+def main():
+    args = [a for a in sys.argv[1:]]
+    group = WorkloadGroup.APP if "--app" in args else WorkloadGroup.SPEC
+    indices = [int(a) for a in args if a.isdigit()] or [3]
+    index = indices[0]
+
+    config = default_config(group)
+    trace = build_trace(group, index, num_nodes=config.num_nodes)
+    print(summarize(trace))
+    print(f"program mix: {program_mix(trace)}\n")
+
+    results = {}
+    for policy in ("g-loadsharing", "v-reconfiguration"):
+        print(f"running {trace.name} under {policy} ...")
+        results[policy] = run_experiment(group, index,
+                                         policy=policy).summary
+    base = results["g-loadsharing"]
+    reco = results["v-reconfiguration"]
+
+    print(f"\n{trace.name} on the paper's cluster "
+          f"({group.value} group):\n")
+    rows = [
+        ("total execution time (s)", base.total_execution_time_s,
+         reco.total_execution_time_s),
+        ("total queuing time (s)", base.total_queuing_time_s,
+         reco.total_queuing_time_s),
+        ("total paging time (s)", base.total_paging_time_s,
+         reco.total_paging_time_s),
+        ("average slowdown", base.average_slowdown,
+         reco.average_slowdown),
+        ("average idle memory (MB)", base.average_idle_memory_mb,
+         reco.average_idle_memory_mb),
+        ("average job balance skew", base.average_job_balance_skew,
+         reco.average_job_balance_skew),
+    ]
+    print(f"{'metric':28s} {'G-Loadsharing':>15s} "
+          f"{'V-Reconfig':>15s} {'reduction':>10s}")
+    for name, g, v in rows:
+        print(f"{name:28s} {g:15,.1f} {v:15,.1f} "
+              f"{percentage_reduction(g, v):9.1f}%")
+    print(f"\nV-Reconfiguration activity: {reco.extra}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+#!/usr/bin/env python
+"""Compare every scheduling policy on one published trace.
+
+Runs App-Trace-2 (the trace where the paper reports its clearest
+group-2 gains) under all six policies and prints a ranking — the
+design space the paper's §1 surveys: no sharing, CPU-count balancing,
+memory-based placement, job suspension, dynamic CPU+memory sharing,
+and virtual reconfiguration.
+
+Run:  python examples/policy_comparison.py [--scale 0.5]
+"""
+
+import sys
+
+from repro.experiments.runner import POLICIES, run_experiment
+from repro.workload.programs import WorkloadGroup
+
+
+def main():
+    scale = 1.0
+    if "--scale" in sys.argv:
+        scale = float(sys.argv[sys.argv.index("--scale") + 1])
+
+    rows = []
+    for name in POLICIES:
+        print(f"running App-Trace-2 under {name} "
+              f"(scale={scale}) ...")
+        summary = run_experiment(WorkloadGroup.APP, 2, policy=name,
+                                 scale=scale).summary
+        rows.append((name, summary))
+
+    rows.sort(key=lambda item: item[1].average_slowdown)
+    print(f"\n{'policy':20s} {'slowdown':>9s} {'queue (s)':>12s} "
+          f"{'page (s)':>10s} {'migrations':>11s} {'p95 slow':>9s}")
+    for name, s in rows:
+        print(f"{name:20s} {s.average_slowdown:9.2f} "
+              f"{s.total_queuing_time_s:12,.0f} "
+              f"{s.total_paging_time_s:10,.0f} {s.migrations:11d} "
+              f"{s.slowdown_percentile(95):9.2f}")
+    best = rows[0][0]
+    print(f"\nBest average slowdown: {best}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,67 @@
+"""repro — reproduction of "Adaptive and Virtual Reconfigurations for
+Effective Dynamic Job Scheduling in Cluster Systems" (ICDCS 2002).
+
+Public API overview
+-------------------
+
+Cluster substrate
+    :class:`~repro.cluster.Cluster`,
+    :class:`~repro.cluster.ClusterConfig`,
+    :class:`~repro.cluster.Job`,
+    :class:`~repro.cluster.MemoryProfile`
+
+Scheduling policies
+    :class:`~repro.scheduling.GLoadSharing` (the paper's baseline),
+    :class:`~repro.core.VReconfiguration` (the contribution), plus
+    :class:`~repro.scheduling.LocalPolicy`,
+    :class:`~repro.scheduling.CpuBasedPolicy`,
+    :class:`~repro.scheduling.MemoryBasedPolicy`,
+    :class:`~repro.scheduling.SuspensionPolicy`
+
+Workloads
+    :func:`~repro.workload.build_trace` (the published traces),
+    :data:`~repro.workload.SPEC_PROGRAMS`,
+    :data:`~repro.workload.APP_PROGRAMS`
+
+Experiments
+    :func:`~repro.experiments.run_experiment`,
+    :mod:`repro.experiments.figures`, ``python -m repro.experiments``
+
+See README.md for a quickstart and DESIGN.md for the system inventory.
+"""
+
+from repro.cluster import (
+    Cluster,
+    ClusterConfig,
+    Job,
+    MemoryProfile,
+    WorkstationSpec,
+)
+from repro.core import VReconfiguration
+from repro.scheduling import (
+    CpuBasedPolicy,
+    GLoadSharing,
+    LocalPolicy,
+    MemoryBasedPolicy,
+    SuspensionPolicy,
+)
+from repro.workload import WorkloadGroup, build_trace
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Cluster",
+    "ClusterConfig",
+    "CpuBasedPolicy",
+    "GLoadSharing",
+    "Job",
+    "LocalPolicy",
+    "MemoryBasedPolicy",
+    "MemoryProfile",
+    "SuspensionPolicy",
+    "VReconfiguration",
+    "WorkloadGroup",
+    "WorkstationSpec",
+    "build_trace",
+    "__version__",
+]

@@ -1,0 +1,32 @@
+"""Analysis: the paper's §5 model, queueing-theory validation, and
+lifetime-distribution analysis ([5])."""
+
+from repro.analysis.lifetimes import (
+    LifetimeStats,
+    analyze_lifetimes,
+    expected_remaining_life,
+)
+from repro.analysis.model import (
+    ExecutionTimeModel,
+    ReservedQueueModel,
+    gain_condition,
+    verify_against_run,
+)
+from repro.analysis.queueing import (
+    mm1_mean_sojourn,
+    ps_mean_slowdown,
+    run_single_node,
+)
+
+__all__ = [
+    "ExecutionTimeModel",
+    "LifetimeStats",
+    "ReservedQueueModel",
+    "analyze_lifetimes",
+    "expected_remaining_life",
+    "gain_condition",
+    "mm1_mean_sojourn",
+    "ps_mean_slowdown",
+    "run_single_node",
+    "verify_against_run",
+]

@@ -1,0 +1,156 @@
+"""The paper's §5 performance model, implemented and checkable.
+
+The model decomposes a workload's total execution time as::
+
+    T_exe = T_cpu + T_page + T_que + T_mig
+
+and compares the same quantity under virtual reconfiguration
+(``T̂_exe``).  Its statements, each implemented below:
+
+1. **CPU service time** is invariant: ``T_cpu = T̂_cpu``.
+2. **Paging time** reduction is the objective of reconfiguration.
+3. **Queuing in reserved workstations** is FIFO-bounded::
+
+       g(Q_r(k)) <= sum_{j=1..Q_r(k)} (Q_r(k) - j) * w_kj
+
+   where ``w_kj`` is the interval between the arrival of job j+1 and
+   the completion of job j at reserved workstation k, and it is
+   minimized when ``w_k1 < w_k2 < ... `` (shortest first — the SRPT
+   principle the method implicitly applies).
+4. **Gain condition**: with ``T_mig ≈ T̂_mig`` and paging reduced,
+
+       T_exe - T̂_exe > T_que - T̂ⁿ_que - sum_k g(Q_r(k))
+
+   is positive when queuing in non-reserved workstations is
+   sufficiently smaller than total baseline queuing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from repro.metrics.summary import RunSummary
+
+
+@dataclass(frozen=True)
+class ExecutionTimeModel:
+    """The four-component execution time of §5 (seconds)."""
+
+    cpu_s: float
+    page_s: float
+    queue_s: float
+    migration_s: float
+
+    @property
+    def total_s(self) -> float:
+        return self.cpu_s + self.page_s + self.queue_s + self.migration_s
+
+    @classmethod
+    def from_summary(cls, summary: RunSummary) -> "ExecutionTimeModel":
+        """Extract the model components from a measured run (I/O stalls
+        are folded into the paging component, as both are involuntary
+        per-job service stalls)."""
+        return cls(
+            cpu_s=summary.total_cpu_time_s,
+            page_s=summary.total_paging_time_s + summary.total_io_time_s,
+            queue_s=summary.total_queuing_time_s,
+            migration_s=summary.total_migration_time_s,
+        )
+
+
+class ReservedQueueModel:
+    """FIFO queuing bound for one reserved workstation (§5, item 3)."""
+
+    def __init__(self, inter_completion_waits: Sequence[float]):
+        """``inter_completion_waits[j]`` is w_{k,j+1}: the time between
+        the arrival of job j+1 and the completion of job j."""
+        if any(w < 0 for w in inter_completion_waits):
+            raise ValueError("waits must be non-negative")
+        self.waits = list(inter_completion_waits)
+
+    @property
+    def num_jobs(self) -> int:
+        return len(self.waits)
+
+    def queuing_bound_s(self) -> float:
+        """``sum_j (Q - j) * w_kj`` with jobs indexed from 1."""
+        q = self.num_jobs
+        return sum((q - j) * w for j, w in enumerate(self.waits, start=1))
+
+    def is_minimized_ordering(self) -> bool:
+        """The bound is minimized when waits increase with j (§5):
+        serving shorter jobs first weights the small ``w`` values by
+        the large ``(Q - j)`` coefficients."""
+        return all(a <= b for a, b in zip(self.waits, self.waits[1:]))
+
+    @staticmethod
+    def minimal_bound_s(waits: Sequence[float]) -> float:
+        """The bound achieved by the SRPT-style increasing ordering."""
+        return ReservedQueueModel(sorted(waits)).queuing_bound_s()
+
+
+def gain_condition(baseline: ExecutionTimeModel,
+                   reconfigured_nonreserved_queue_s: float,
+                   reserved_queue_bounds_s: Sequence[float]) -> float:
+    """Lower bound on ``T_exe - T̂_exe`` from §5 (assuming paging does
+    not increase and migration-time differences are insignificant).
+
+    Positive return value = the model predicts a net gain.
+    """
+    return (baseline.queue_s
+            - reconfigured_nonreserved_queue_s
+            - sum(reserved_queue_bounds_s))
+
+
+@dataclass(frozen=True)
+class ModelCheck:
+    """Outcome of checking the §5 model against two measured runs."""
+
+    cpu_invariant_error: float      # |T_cpu - T̂_cpu| / T_cpu
+    paging_reduced: bool
+    predicted_gain_s: float         # model's lower bound
+    measured_gain_s: float          # T_exe - T̂_exe as measured
+    consistent: bool
+
+
+def verify_against_run(baseline: RunSummary,
+                       reconfigured: RunSummary,
+                       reserved_queue_bounds_s: Sequence[float] = (),
+                       cpu_tolerance: float = 0.01) -> ModelCheck:
+    """Check the §5 statements against a measured pair of runs.
+
+    ``consistent`` requires (a) CPU-time invariance within tolerance,
+    and (b) the measured gain to be at least the model's lower bound
+    (the bound ignores second-order effects that only help).
+    """
+    base = ExecutionTimeModel.from_summary(baseline)
+    reco = ExecutionTimeModel.from_summary(reconfigured)
+    cpu_err = (abs(base.cpu_s - reco.cpu_s) / base.cpu_s
+               if base.cpu_s > 0 else 0.0)
+    predicted = gain_condition(
+        base,
+        reconfigured_nonreserved_queue_s=reco.queue_s,
+        reserved_queue_bounds_s=reserved_queue_bounds_s)
+    measured = base.total_s - reco.total_s
+    return ModelCheck(
+        cpu_invariant_error=cpu_err,
+        paging_reduced=reco.page_s <= base.page_s,
+        predicted_gain_s=predicted,
+        measured_gain_s=measured,
+        consistent=(cpu_err <= cpu_tolerance
+                    and measured >= predicted - 1e-6),
+    )
+
+
+def unsuccessful_conditions(baseline: RunSummary) -> List[str]:
+    """The §5 list of conditions under which virtual reconfiguration
+    is potentially unsuccessful, evaluated on a baseline run."""
+    reasons: List[str] = []
+    if baseline.average_slowdown < 1.5:
+        reasons.append("cluster lightly loaded; dynamic load sharing "
+                       "already absorbs moderate page faults")
+    if baseline.total_paging_time_s < 0.01 * baseline.total_execution_time_s:
+        reasons.append("jobs nearly equally sized in memory demands; "
+                       "little unsuitable resource allocation to fix")
+    return reasons

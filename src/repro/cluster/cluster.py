@@ -1,0 +1,112 @@
+"""The Cluster facade: nodes + network + load directory + event hooks.
+
+The cluster is passive infrastructure — scheduling policies
+(:mod:`repro.scheduling`) drive submissions and migrations through it.
+It owns the simulator, constructs the workstations, wires completion
+notifications, and fans out state-change callbacks that policies and
+metric collectors subscribe to.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.cluster.config import ClusterConfig
+from repro.cluster.job import Job
+from repro.cluster.loadinfo import LoadInfoDirectory
+from repro.cluster.memory import PagingModel
+from repro.cluster.network import Network
+from repro.cluster.workstation import Workstation
+from repro.sim.engine import Simulator
+
+JobListener = Callable[[Job, Workstation], None]
+NodeListener = Callable[[Workstation], None]
+
+
+class Cluster:
+    """A simulated cluster of workstations."""
+
+    def __init__(self, config: Optional[ClusterConfig] = None,
+                 sim: Optional[Simulator] = None):
+        self.config = config if config is not None else ClusterConfig()
+        self.sim = sim if sim is not None else Simulator()
+        self.paging = PagingModel(
+            alpha=self.config.residency_alpha,
+            max_fault_rate_per_cpu_s=self.config.max_fault_rate_per_cpu_s,
+            fault_service_s=self.config.fault_service_s,
+            curve_exponent=self.config.fault_curve_exponent,
+        )
+        self.nodes: List[Workstation] = [
+            Workstation(self.sim, node_id, self.config.spec_for(node_id),
+                        self.config, self.paging,
+                        on_job_finished=self._job_finished)
+            for node_id in range(self.config.num_nodes)
+        ]
+        self.network = Network(
+            self.sim,
+            bandwidth_mbps=self.config.network_bandwidth_mbps,
+            remote_submission_cost_s=self.config.remote_submission_cost_s,
+            contention=self.config.network_contention,
+        )
+        self.directory = LoadInfoDirectory(
+            self.sim, self.nodes,
+            exchange_interval_s=self.config.load_exchange_interval_s,
+        )
+        self.finished_jobs: List[Job] = []
+        self._job_listeners: List[JobListener] = []
+        self._node_listeners: List[NodeListener] = []
+
+    # ------------------------------------------------------------------
+    # observers
+    # ------------------------------------------------------------------
+    def on_job_finished(self, listener: JobListener) -> None:
+        """Subscribe to job completions."""
+        self._job_listeners.append(listener)
+
+    def on_node_changed(self, listener: NodeListener) -> None:
+        """Subscribe to node state changes (currently completions)."""
+        self._node_listeners.append(listener)
+
+    def _job_finished(self, job: Job, node: Workstation) -> None:
+        self.finished_jobs.append(job)
+        for listener in self._job_listeners:
+            listener(job, node)
+        self.notify_node_changed(node)
+
+    def notify_node_changed(self, node: Workstation) -> None:
+        """Fan a node state change out to subscribers (also called by
+        policies after placements/migrations)."""
+        for listener in self._node_listeners:
+            listener(node)
+
+    # ------------------------------------------------------------------
+    # cluster-wide queries
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self.nodes)
+
+    def total_idle_memory_mb(self, exclude_reserved: bool = False) -> float:
+        """Accumulated idle memory space in the cluster (paper §2.1/2.2)."""
+        return sum(node.idle_memory_mb for node in self.nodes
+                   if not (exclude_reserved and node.reserved))
+
+    def average_user_memory_mb(self) -> float:
+        """Average user memory space of workstations (the paper's
+        activation threshold for the reconfiguration routine)."""
+        return sum(node.user_memory_mb for node in self.nodes) / len(self.nodes)
+
+    def running_jobs(self) -> List[Job]:
+        """All jobs currently running anywhere."""
+        jobs: List[Job] = []
+        for node in self.nodes:
+            jobs.extend(node.running_jobs)
+        return jobs
+
+    def reserved_nodes(self) -> List[Workstation]:
+        return [node for node in self.nodes if node.reserved]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        running = sum(node.num_running for node in self.nodes)
+        return (f"<Cluster n={self.num_nodes} t={self.sim.now:.1f}s"
+                f" running={running} finished={len(self.finished_jobs)}>")

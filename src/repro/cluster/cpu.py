@@ -1,0 +1,81 @@
+"""CPU sharing model: round-robin as capped processor sharing.
+
+Intra-workstation scheduling in the paper is round-robin (§1).  Between
+simulator events all node state is constant, so round-robin is modeled
+as egalitarian processor sharing with two corrections:
+
+* a context-switch tax on total capacity when more than one job is
+  runnable (0.1 ms per switch, §3.3.1);
+* a per-job *progress cap*: a job that stalls on page faults or I/O
+  cannot exceed the progress rate it would achieve alone, namely
+  ``1 / (1/speed + stall_per_work)``.
+
+Capacity is divided by water-filling: every job gets an equal share,
+jobs capped below their share return the excess to the pool, and the
+pool is re-divided among the uncapped jobs.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+
+def waterfill(capacity: float, caps: Sequence[float]) -> List[float]:
+    """Split ``capacity`` equally among consumers with per-consumer caps.
+
+    Returns the allocation list.  Properties (tested):
+    ``0 <= alloc[i] <= caps[i]``, ``sum(alloc) <= capacity`` with
+    equality whenever ``sum(caps) >= capacity``, and all consumers not
+    at their cap receive equal allocations.
+    """
+    n = len(caps)
+    if n == 0:
+        return []
+    if capacity < 0:
+        raise ValueError("capacity must be non-negative")
+    alloc = [0.0] * n
+    remaining = capacity
+    active = [i for i in range(n) if caps[i] > 0]
+    # Iteratively saturate consumers whose cap is below the fair share.
+    while active and remaining > 1e-15:
+        share = remaining / len(active)
+        saturated = [i for i in active if caps[i] - alloc[i] <= share]
+        if not saturated:
+            for i in active:
+                alloc[i] += share
+            remaining = 0.0
+            break
+        for i in saturated:
+            remaining -= caps[i] - alloc[i]
+            alloc[i] = caps[i]
+        active = [i for i in active if i not in set(saturated)]
+    return alloc
+
+
+def progress_rates(speed_factor: float,
+                   context_switch_tax: float,
+                   stalls_per_work: Sequence[float],
+                   capacity_factor: float = 1.0) -> List[float]:
+    """Per-job progress rates (work-seconds per wall-second).
+
+    ``stalls_per_work[i]`` is job *i*'s stall time (page faults + I/O)
+    per second of CPU work.  The CPU constraint is
+    ``sum(rate_i) <= speed * (1 - tax) * capacity_factor`` (the tax
+    applies only when more than one job shares the node;
+    ``capacity_factor`` accounts for CPU burned by kernel fault
+    handling); the per-job constraint is
+    ``rate_i * (1/speed + stall_i) <= 1``.
+    """
+    n = len(stalls_per_work)
+    if n == 0:
+        return []
+    if not 0 < capacity_factor <= 1:
+        raise ValueError("capacity_factor must be in (0, 1]")
+    tax = context_switch_tax if n > 1 else 0.0
+    capacity = speed_factor * (1.0 - tax) * capacity_factor
+    caps = [1.0 / (1.0 / speed_factor + stall) if stall > 0
+            else speed_factor
+            for stall in stalls_per_work]
+    # A lone unstalled job still cannot exceed taxed capacity.
+    caps = [min(cap, capacity) if n == 1 else cap for cap in caps]
+    return waterfill(capacity, caps)

@@ -1,0 +1,90 @@
+"""Global load-index directory.
+
+Each workstation "maintains a global load index file which contains
+CPU, memory, and I/O load status information of other computing
+nodes.  The load sharing system periodically collects and distributes
+the load information among the workstations" (paper §3.3.1).
+
+The directory publishes a snapshot of every node at a configurable
+period.  Schedulers *select* candidates from snapshots (possibly
+stale) and perform a live admission check at the chosen node, the way
+a real remote submission would.  A period of 0 disables staleness:
+every lookup reads the live node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List
+
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.workstation import Workstation
+
+
+@dataclass(frozen=True)
+class NodeSnapshot:
+    """Published load state of one workstation."""
+
+    node_id: int
+    num_jobs: int
+    idle_memory_mb: float
+    total_demand_mb: float
+    fault_rate_per_s: float
+    accepting: bool
+    timestamp: float
+
+
+class LoadInfoDirectory:
+    """Periodically refreshed cluster-wide load information."""
+
+    def __init__(self, sim: Simulator, nodes: List["Workstation"],
+                 exchange_interval_s: float = 1.0):
+        if exchange_interval_s < 0:
+            raise ValueError("exchange_interval_s must be >= 0")
+        self._sim = sim
+        self._nodes = nodes
+        self.exchange_interval_s = exchange_interval_s
+        self._snapshots: Dict[int, NodeSnapshot] = {}
+        self.refreshes = 0
+        if exchange_interval_s > 0:
+            self.refresh()
+            self._schedule_next()
+
+    # ------------------------------------------------------------------
+    def _schedule_next(self) -> None:
+        self._sim.schedule(self.exchange_interval_s, self._tick, priority=2,
+                           daemon=True)
+
+    def _tick(self) -> None:
+        self.refresh()
+        self._schedule_next()
+
+    def refresh(self) -> None:
+        """Collect a fresh snapshot of every node (one exchange round)."""
+        self.refreshes += 1
+        for node in self._nodes:
+            self._snapshots[node.node_id] = self._snapshot_of(node)
+
+    def _snapshot_of(self, node: "Workstation") -> NodeSnapshot:
+        return NodeSnapshot(
+            node_id=node.node_id,
+            num_jobs=node.committed_jobs,
+            idle_memory_mb=node.idle_memory_mb,
+            total_demand_mb=node.total_demand_mb,
+            fault_rate_per_s=node.fault_rate_per_s,
+            accepting=node.accepting,
+            timestamp=self._sim.now,
+        )
+
+    # ------------------------------------------------------------------
+    def snapshot(self, node_id: int) -> NodeSnapshot:
+        """The current view of ``node_id`` (live when period is 0)."""
+        if self.exchange_interval_s == 0:
+            return self._snapshot_of(self._nodes[node_id])
+        return self._snapshots[node_id]
+
+    def snapshots(self) -> List[NodeSnapshot]:
+        """Views of all nodes, ordered by node id."""
+        return [self.snapshot(node.node_id) for node in self._nodes]

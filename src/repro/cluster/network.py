@@ -1,0 +1,82 @@
+"""Network model: remote submission and preemptive migration costs.
+
+The paper's cost model (§3.3.1): remote submission/execution costs
+``r = 0.1 s``; a preemptive migration transfers the job's entire
+memory image (its working set) and costs ``r + D/B`` where ``D`` is
+the image size in bits and ``B`` the Ethernet bandwidth (10 Mbps).
+
+Two modes are provided:
+
+* additive (paper's model, default): transfers do not interact;
+* contention: transfers share the single link FIFO, so a migration
+  behind another completes later.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.sim.engine import Simulator
+
+BITS_PER_MB = 8.0 * 1024.0 * 1024.0
+
+
+class Network:
+    """The cluster interconnect."""
+
+    def __init__(self, sim: Simulator, bandwidth_mbps: float = 10.0,
+                 remote_submission_cost_s: float = 0.1,
+                 contention: bool = False):
+        if bandwidth_mbps <= 0:
+            raise ValueError("bandwidth_mbps must be positive")
+        if remote_submission_cost_s < 0:
+            raise ValueError("remote_submission_cost_s must be >= 0")
+        self._sim = sim
+        self.bandwidth_bps = bandwidth_mbps * 1e6
+        self.remote_cost_s = remote_submission_cost_s
+        self.contention = contention
+        self._link_free_at = 0.0
+        # Diagnostics
+        self.bytes_transferred = 0.0
+        self.transfers = 0
+
+    # ------------------------------------------------------------------
+    def transfer_time_s(self, image_mb: float) -> float:
+        """Pure wire time for an image of ``image_mb`` megabytes."""
+        if image_mb < 0:
+            raise ValueError("image_mb must be non-negative")
+        return image_mb * BITS_PER_MB / self.bandwidth_bps
+
+    def migration_cost_s(self, image_mb: float) -> float:
+        """Paper's migration cost ``r + D/B`` (additive estimate)."""
+        return self.remote_cost_s + self.transfer_time_s(image_mb)
+
+    # ------------------------------------------------------------------
+    def submit_remote(self, on_done: Callable[[], None]) -> float:
+        """Charge a remote submission; fire ``on_done`` when complete.
+
+        Returns the completion delay.
+        """
+        delay = self.remote_cost_s
+        self._sim.schedule(delay, on_done)
+        return delay
+
+    def migrate(self, image_mb: float,
+                on_done: Callable[[], None]) -> float:
+        """Start a migration transfer; fire ``on_done`` at completion.
+
+        Returns the total delay charged to the migrating job.  In
+        contention mode the transfer queues behind in-flight transfers
+        on the shared link.
+        """
+        wire = self.transfer_time_s(image_mb)
+        if self.contention:
+            start = max(self._sim.now, self._link_free_at)
+            self._link_free_at = start + wire
+            delay = (start - self._sim.now) + wire + self.remote_cost_s
+        else:
+            delay = self.remote_cost_s + wire
+        self.bytes_transferred += image_mb * 1024 * 1024
+        self.transfers += 1
+        self._sim.schedule(delay, on_done)
+        return delay

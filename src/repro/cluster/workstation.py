@@ -1,0 +1,329 @@
+"""Workstation model: multiprogrammed node with memory-aware progress.
+
+Between simulator events every rate on a node is constant, so the node
+advances all running jobs analytically and schedules exactly one
+internal event at the earliest job completion or memory-phase
+boundary.  On every state change (arrival, departure, migration, phase
+boundary) accounting is brought up to date and rates are recomputed
+from the CPU model (:mod:`repro.cluster.cpu`) and the paging model
+(:mod:`repro.cluster.memory`).
+
+Per-job accounting accumulates the paper's §5 decomposition:
+``wall = cpu + page + io + queue (+ migration, charged elsewhere)``.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional
+
+from repro.cluster.config import ClusterConfig, WorkstationSpec
+from repro.cluster.cpu import progress_rates
+from repro.cluster.job import Job, JobState
+from repro.cluster.memory import PagingAssessment, PagingModel
+from repro.sim.engine import EventHandle, Simulator
+
+_EPS = 1e-9
+
+
+class Workstation:
+    """One node of the simulated cluster."""
+
+    def __init__(self, sim: Simulator, node_id: int, spec: WorkstationSpec,
+                 config: ClusterConfig, paging: PagingModel,
+                 on_job_finished: Optional[Callable[[Job, "Workstation"], None]] = None):
+        self._sim = sim
+        self.node_id = node_id
+        self.spec = spec
+        self.config = config
+        self._paging = paging
+        self.on_job_finished = on_job_finished
+        self.user_memory_mb = config.user_memory_mb(spec)
+
+        #: Submissions/migrations blocked by a reservation (the paper's
+        #: reservation flag) or by an overload condition.
+        self.reserved = False
+        #: Jobs committed to this node but still in transit (remote
+        #: submissions and migrations reserve their slot up front, so
+        #: concurrent placements do not over-commit a node).
+        self.inbound_jobs = 0
+
+        self._running: List[Job] = []
+        self._rates: List[float] = []
+        self._fault_stalls: List[float] = []
+        self._io_stalls: List[float] = []
+        self._assessment: Optional[PagingAssessment] = None
+        self._last_update = sim.now
+        self._next_event: Optional[EventHandle] = None
+
+        # Diagnostics
+        self.busy_cpu_s = 0.0
+        self.completed_jobs = 0
+
+    # ------------------------------------------------------------------
+    # queries (always consistent with the current instant)
+    # ------------------------------------------------------------------
+    @property
+    def num_running(self) -> int:
+        return len(self._running)
+
+    @property
+    def committed_jobs(self) -> int:
+        """Running jobs plus in-flight arrivals (slot accounting)."""
+        return len(self._running) + self.inbound_jobs
+
+    @property
+    def running_jobs(self) -> List[Job]:
+        """Snapshot list of the jobs currently running here."""
+        self._advance()
+        return list(self._running)
+
+    @property
+    def total_demand_mb(self) -> float:
+        self._advance()
+        return sum(job.current_demand_mb for job in self._running)
+
+    @property
+    def idle_memory_mb(self) -> float:
+        return max(0.0, self.user_memory_mb - self.total_demand_mb)
+
+    @property
+    def fault_rate_per_s(self) -> float:
+        """Aggregate page faults per wall-clock second on this node."""
+        self._advance()
+        if self._assessment is None:
+            return 0.0
+        return sum(rate * lam for rate, lam in
+                   zip(self._rates, self._assessment.fault_rates_per_cpu_s))
+
+    @property
+    def has_starving_job(self) -> bool:
+        """True when some job spends most of its potential progress
+        stalled on page faults — the silently starved large job of the
+        paper's §2.2 ("less competitive than jobs with small memory
+        allocations")."""
+        self._advance()
+        return any(stall >= 1.0 for stall in self._fault_stalls)
+
+    @property
+    def thrashing(self) -> bool:
+        """Overloaded by paging: either the node-aggregate fault rate
+        exceeds the detection threshold, or some job is starving."""
+        return (self.fault_rate_per_s > self.config.fault_rate_threshold
+                or self.has_starving_job)
+
+    @property
+    def has_free_slot(self) -> bool:
+        return self.committed_jobs < self.config.cpu_threshold
+
+    @property
+    def accepting(self) -> bool:
+        """Submission-eligibility per [3]: idle memory present, a job
+        slot free, and not blocked by a reservation."""
+        return (not self.reserved
+                and self.has_free_slot
+                and self.idle_memory_mb >= self.config.min_idle_mb)
+
+    def admits_demand(self, demand_mb: float) -> bool:
+        """Live memory-threshold admission check: total demand may
+        exceed user memory only up to the configured factor."""
+        limit = self.user_memory_mb * self.config.memory_threshold_factor
+        return self.total_demand_mb + demand_mb <= limit + _EPS
+
+    def accepts_migration(self, job: Job) -> bool:
+        """Qualified migration destination per [3]: enough idle memory
+        for the job's current demand and a free job slot."""
+        return (not self.reserved
+                and self.has_free_slot
+                and self.idle_memory_mb >= job.current_demand_mb - _EPS)
+
+    # ------------------------------------------------------------------
+    # state changes
+    # ------------------------------------------------------------------
+    def add_job(self, job: Job) -> None:
+        """Start (or resume) ``job`` on this node."""
+        if job.state is JobState.FINISHED:
+            raise ValueError(f"job {job.job_id} already finished")
+        if any(j.job_id == job.job_id for j in self._running):
+            raise ValueError(f"job {job.job_id} already on node {self.node_id}")
+        self._advance()
+        job.state = JobState.RUNNING
+        job.node_id = self.node_id
+        self._running.append(job)
+        self._recompute()
+
+    def remove_job(self, job: Job) -> None:
+        """Detach ``job`` (for migration or suspension)."""
+        self._advance()
+        if job not in self._running:
+            raise ValueError(f"job {job.job_id} not on node {self.node_id}")
+        self._running.remove(job)
+        job.node_id = None
+        self._recompute()
+
+    def most_memory_intensive_job(self, faulting_only: bool = False
+                                  ) -> Optional[Job]:
+        """The paper's ``find_most_memory_intensive_job()``: the running
+        job with the largest current memory demand (optionally only
+        among jobs currently suffering page faults)."""
+        self._advance()
+        candidates = [job for job in self._running
+                      if not faulting_only or job.faulting]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda job: (job.current_demand_mb,
+                                                -job.job_id))
+
+    # ------------------------------------------------------------------
+    # internal mechanics
+    # ------------------------------------------------------------------
+    def _advance(self) -> None:
+        """Bring progress and accounting up to the current instant."""
+        now = self._sim.now
+        dt = now - self._last_update
+        if dt <= 0:
+            return
+        self._last_update = now
+        speed = self.spec.speed_factor
+        for i, job in enumerate(self._running):
+            rate = self._rates[i]
+            fault_stall = self._fault_stalls[i]
+            io_stall = self._io_stalls[i]
+            job.progress_s = min(job.cpu_work_s, job.progress_s + rate * dt)
+            cpu_part = rate / speed * dt
+            page_part = rate * fault_stall * dt
+            io_part = rate * io_stall * dt
+            job.acct.cpu_s += cpu_part
+            job.acct.page_s += page_part
+            job.acct.io_s += io_part
+            job.acct.queue_s += max(0.0, dt - cpu_part - page_part - io_part)
+            self.busy_cpu_s += cpu_part
+
+    def _recompute(self) -> None:
+        """Recompute paging state and progress rates; reschedule the
+        node's internal event.
+
+        Thrashing has two node-level penalties on top of the per-job
+        stalls: kernel CPU burned handling faults (shrinks usable
+        capacity for everyone) and paging-disk contention (stall per
+        fault inflates as the disk approaches saturation).  Both depend
+        on the progress rates, which depend back on them, so a short
+        fixed-point iteration resolves the coupling.
+        """
+        demands = [job.current_demand_mb for job in self._running]
+        self._assessment = self._paging.assess(demands, self.user_memory_mb)
+        lambdas = self._assessment.fault_rates_per_cpu_s
+        service = self.config.fault_service_s
+        overhead_s = self.config.fault_cpu_overhead_ms / 1000.0
+        max_inflation = self.config.paging_disk_max_inflation
+        speed = self.spec.speed_factor
+        tax = self.config.context_switch_tax
+
+        # I/O buffer cache: lives in free memory, reclaimed before
+        # anyone pages.  When pressure squeezes it below what the
+        # node's I/O-active jobs want, their I/O stalls inflate
+        # (uncached I/O costs the configured penalty factor more).
+        cache_wanted = sum(job.buffer_cache_mb for job in self._running)
+        if cache_wanted > 0:
+            free = max(0.0, self.user_memory_mb - sum(demands))
+            cache_hit = min(1.0, free / cache_wanted)
+            io_factor = 1.0 + self.config.uncached_io_penalty \
+                * (1.0 - cache_hit)
+        else:
+            io_factor = 1.0
+        io_stalls = [job.io_stall_per_cpu_s * io_factor
+                     for job in self._running]
+
+        inflation = 1.0
+        capacity_factor = 1.0
+        rates: list = []
+        fault_stalls: list = []
+        iterations = 3 if any(lam > 0 for lam in lambdas) else 1
+        for _ in range(iterations):
+            fault_stalls = [lam * service * inflation for lam in lambdas]
+            stalls = [fault + io
+                      for fault, io in zip(fault_stalls, io_stalls)]
+            rates = self._allocate_rates(speed, tax, stalls,
+                                         capacity_factor)
+            faults_per_s = sum(r * lam for r, lam in zip(rates, lambdas))
+            disk_util = min(0.99, faults_per_s * service)
+            inflation = min(max_inflation, 1.0 / (1.0 - disk_util))
+            capacity_factor = max(0.05, 1.0 - faults_per_s * overhead_s)
+        self._rates = rates
+        self._fault_stalls = fault_stalls
+        self._io_stalls = io_stalls
+        for job, lam in zip(self._running, lambdas):
+            job.faulting = lam > 0.0
+        self._schedule_next_event()
+
+    def _allocate_rates(self, speed: float, tax: float, stalls: list,
+                        capacity_factor: float) -> list:
+        """Water-fill CPU capacity, giving jobs under dedicated service
+        (migrated to a reserved workstation) strict priority: they are
+        served first, and other jobs share what remains."""
+        dedicated = [i for i, job in enumerate(self._running)
+                     if job.dedicated]
+        if not dedicated:
+            return progress_rates(speed, tax, stalls,
+                                  capacity_factor=capacity_factor)
+        rates = [0.0] * len(self._running)
+        others = [i for i in range(len(self._running))
+                  if i not in set(dedicated)]
+        # Special service, not starvation: while a dedicated job is
+        # served, co-resident jobs keep a quarter of the node.
+        share = 0.75 if others else 1.0
+        priority_rates = progress_rates(
+            speed, tax, [stalls[i] for i in dedicated],
+            capacity_factor=share * capacity_factor)
+        used = 0.0
+        for i, rate in zip(dedicated, priority_rates):
+            rates[i] = rate
+            used += rate / speed
+        if others:
+            leftover = max(0.05, capacity_factor - used)
+            other_rates = progress_rates(
+                speed, tax, [stalls[i] for i in others],
+                capacity_factor=leftover)
+            for i, rate in zip(others, other_rates):
+                rates[i] = rate
+        return rates
+
+    def _schedule_next_event(self) -> None:
+        if self._next_event is not None:
+            self._next_event.cancel()
+            self._next_event = None
+        horizon = None
+        for job, rate in zip(self._running, self._rates):
+            if rate <= 0:
+                continue
+            dt_done = job.remaining_work_s / rate
+            horizon = dt_done if horizon is None else min(horizon, dt_done)
+            boundary = job.memory.next_boundary(job.progress_s)
+            if boundary is not None and boundary < job.cpu_work_s:
+                dt_phase = (boundary - job.progress_s) / rate
+                horizon = min(horizon, dt_phase)
+        if horizon is None:
+            return
+        self._next_event = self._sim.schedule(
+            max(0.0, horizon), self._on_internal_event)
+
+    def _on_internal_event(self) -> None:
+        self._next_event = None
+        self._advance()
+        finished = [job for job in self._running
+                    if job.remaining_work_s <= _EPS]
+        for job in finished:
+            self._running.remove(job)
+            job.progress_s = job.cpu_work_s
+            job.state = JobState.FINISHED
+            job.node_id = None
+            job.finish_time = self._sim.now
+            self.completed_jobs += 1
+        self._recompute()
+        if self.on_job_finished is not None:
+            for job in finished:
+                self.on_job_finished(job, self)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"<Workstation {self.node_id} jobs={self.num_running}"
+                f" idle={self.idle_memory_mb:.0f}MB"
+                f" reserved={self.reserved}>")

@@ -1,0 +1,29 @@
+"""The paper's contribution: adaptive and virtual reconfiguration.
+
+* :mod:`repro.core.blocking` — quantitative detection of the job
+  blocking problem (contribution 1, §1/§2.1);
+* :mod:`repro.core.reservation` — reservation lifecycle: reserving
+  period, serving period, adaptive release (§2.1);
+* :mod:`repro.core.reconfiguration` — the reconfiguration routine
+  embedded in dynamic load sharing (the ``V-Reconfiguration`` policy
+  evaluated in §4).
+"""
+
+from repro.core.blocking import BlockingDetector, BlockingReport
+from repro.core.reconfiguration import VReconfiguration
+from repro.core.reservation import (
+    Reservation,
+    ReservationManager,
+    ReservationMode,
+    ReservationState,
+)
+
+__all__ = [
+    "BlockingDetector",
+    "BlockingReport",
+    "Reservation",
+    "ReservationManager",
+    "ReservationMode",
+    "ReservationState",
+    "VReconfiguration",
+]

@@ -1,0 +1,114 @@
+"""Quantitative detection of the job blocking problem.
+
+The paper's first contribution is stating *when* blocking occurs
+(§1-2): a workstation experiences page faults beyond a threshold, but
+the scheduler cannot find a qualified destination (enough idle memory
+for the candidate job's current demand, plus a free job slot) to
+migrate jobs away from it.  The reconfiguration routine additionally
+activates only when the *accumulated* idle memory in the cluster
+exceeds the average user memory space of a workstation — otherwise
+memory is genuinely exhausted and reserving cannot help (§2.3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.job import Job
+from repro.cluster.workstation import Workstation
+
+
+@dataclass(frozen=True)
+class BlockingReport:
+    """Snapshot of the blocking state of a cluster at one instant."""
+
+    time: float
+    blocked_nodes: Tuple[int, ...]
+    #: The migration candidate on each blocked node (job ids).
+    stuck_jobs: Tuple[int, ...]
+    total_idle_memory_mb: float
+    average_user_memory_mb: float
+
+    @property
+    def blocking(self) -> bool:
+        """True when at least one node is blocked."""
+        return bool(self.blocked_nodes)
+
+    @property
+    def reconfiguration_worthwhile(self) -> bool:
+        """The paper's activation condition: accumulated idle memory
+        larger than the average user memory of a workstation."""
+        return (self.blocking
+                and self.total_idle_memory_mb > self.average_user_memory_mb)
+
+
+class BlockingDetector:
+    """Evaluates the blocking condition against live cluster state."""
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+
+    # ------------------------------------------------------------------
+    def destination_for(self, job: Job,
+                        exclude: Optional[int] = None
+                        ) -> Optional[Workstation]:
+        """A qualified migration destination for ``job``, or None."""
+        best: Optional[Workstation] = None
+        for node in self.cluster.nodes:
+            if node.node_id == exclude or node.reserved:
+                continue
+            if not node.accepts_migration(job):
+                continue
+            if best is None or node.idle_memory_mb > best.idle_memory_mb:
+                best = node
+        return best
+
+    def node_blocked(self, node: Workstation) -> Optional[Job]:
+        """If ``node`` is blocked, return the stuck migration candidate."""
+        if node.reserved or not node.thrashing:
+            return None
+        job = node.most_memory_intensive_job(faulting_only=True)
+        if job is None:
+            return None
+        if self.destination_for(job, exclude=node.node_id) is not None:
+            return None
+        return job
+
+    def assess(self) -> BlockingReport:
+        """Evaluate every node and produce a report."""
+        blocked: List[int] = []
+        stuck: List[int] = []
+        for node in self.cluster.nodes:
+            job = self.node_blocked(node)
+            if job is not None:
+                blocked.append(node.node_id)
+                stuck.append(job.job_id)
+        return BlockingReport(
+            time=self.cluster.sim.now,
+            blocked_nodes=tuple(blocked),
+            stuck_jobs=tuple(stuck),
+            total_idle_memory_mb=self.cluster.total_idle_memory_mb(
+                exclude_reserved=True),
+            average_user_memory_mb=self.cluster.average_user_memory_mb(),
+        )
+
+    def blocking_exists(self) -> bool:
+        """Fast check used during reserving periods."""
+        return any(self.node_blocked(node) is not None
+                   for node in self.cluster.nodes)
+
+    def most_memory_intensive_stuck_job(self
+                                        ) -> Optional[Tuple[Job, Workstation]]:
+        """The cluster-wide migration victim: the stuck job with the
+        largest current memory demand, with its node."""
+        best: Optional[Tuple[Job, Workstation]] = None
+        for node in self.cluster.nodes:
+            job = self.node_blocked(node)
+            if job is None:
+                continue
+            if best is None or (job.current_demand_mb
+                                > best[0].current_demand_mb):
+                best = (job, node)
+        return best

@@ -1,0 +1,257 @@
+"""Reservation lifecycle for virtual cluster reconfiguration (§2.1).
+
+A reservation goes through:
+
+``RESERVING``
+    The chosen workstation stops accepting submissions/migrations and
+    drains.  The *reserving period* ends when its running jobs have
+    completed (``ReservationMode.DRAIN_ALL``, the paper's primary
+    rule) or as soon as its idle memory fits the candidate job
+    (``ReservationMode.FIRST_FIT``, the alternative the paper mentions
+    parenthetically).  If blocking disappears meanwhile, the
+    reservation is cancelled and the node returns to normal load
+    sharing — the *adaptive* part.
+
+``SERVING``
+    Large jobs are migrated in.  The reservation is *released* (flag
+    turned off, normal submissions resume) when the workstation
+    completes all migrated jobs.
+
+The manager enforces an upper bound on simultaneously reserved
+workstations (§2.2: reserving too many would starve normal jobs) and a
+reserving-period timeout (§2.3: if a workstation cannot be reserved
+within a predetermined interval the cluster is truly heavily loaded).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.job import Job
+from repro.cluster.workstation import Workstation
+
+
+class ReservationMode(enum.Enum):
+    """When does the reserving period end?"""
+
+    DRAIN_ALL = "drain-all"    # all running jobs complete (paper default)
+    FIRST_FIT = "first-fit"    # idle memory fits the candidate job
+
+
+class ReservationState(enum.Enum):
+    RESERVING = "reserving"
+    SERVING = "serving"
+    RELEASED = "released"
+    CANCELLED = "cancelled"
+
+
+_res_counter = itertools.count()
+
+
+@dataclass
+class Reservation:
+    """One reserved workstation and its special-service bookkeeping."""
+
+    node: Workstation
+    mode: ReservationMode
+    needed_mb: float
+    created_at: float
+    reservation_id: int = field(default_factory=lambda: next(_res_counter))
+    state: ReservationState = ReservationState.RESERVING
+    serving_since: Optional[float] = None
+    closed_at: Optional[float] = None
+    migrated_job_ids: Set[int] = field(default_factory=set)
+    #: Jobs currently in flight towards this reservation.
+    inbound: int = 0
+
+    @property
+    def active(self) -> bool:
+        return self.state in (ReservationState.RESERVING,
+                              ReservationState.SERVING)
+
+    def ready(self) -> bool:
+        """Has the reserving period ended?"""
+        if self.state is not ReservationState.RESERVING:
+            return False
+        if self.node.num_running == 0:
+            return True
+        if self.mode is ReservationMode.FIRST_FIT:
+            return self.node.idle_memory_mb >= self.needed_mb
+        return False
+
+    def has_capacity_for(self, job: Job) -> bool:
+        """Can this (serving) reservation take another large job?"""
+        if not self.active:
+            return False
+        node = self.node
+        return (node.has_free_slot
+                and node.idle_memory_mb >= job.current_demand_mb - 1e-9)
+
+
+@dataclass(frozen=True)
+class ReservationEvent:
+    """Timeline entry (reserve / ready / assign / release / ...)."""
+
+    time: float
+    kind: str
+    node_id: int
+    reservation_id: int
+    job_id: Optional[int] = None
+
+
+class ReservationManager:
+    """Tracks reservations and drives their lifecycle."""
+
+    def __init__(self, cluster: Cluster,
+                 mode: ReservationMode = ReservationMode.DRAIN_ALL,
+                 max_reserved: int = 4,
+                 reserve_timeout_s: float = 300.0):
+        if max_reserved < 1:
+            raise ValueError("max_reserved must be at least 1")
+        if max_reserved >= cluster.num_nodes:
+            raise ValueError("cannot allow reserving every node")
+        self.cluster = cluster
+        self.mode = mode
+        self.max_reserved = max_reserved
+        self.reserve_timeout_s = reserve_timeout_s
+        self._by_node: Dict[int, Reservation] = {}
+        self.history: List[Reservation] = []
+        self.timeline: List[ReservationEvent] = []
+        #: Fired when a reserving period completes: callback(reservation).
+        self.on_ready: Optional[Callable[[Reservation], None]] = None
+        cluster.on_job_finished(self._job_finished)
+
+    # ------------------------------------------------------------------
+    # queries
+    # ------------------------------------------------------------------
+    @property
+    def active_reservations(self) -> List[Reservation]:
+        return [r for r in self._by_node.values() if r.active]
+
+    @property
+    def num_reserved(self) -> int:
+        return len(self.active_reservations)
+
+    def can_reserve(self) -> bool:
+        return self.num_reserved < self.max_reserved
+
+    def reservation_for_node(self, node_id: int) -> Optional[Reservation]:
+        reservation = self._by_node.get(node_id)
+        return reservation if reservation is not None and reservation.active \
+            else None
+
+    def serving_reservation_with_capacity(self, job: Job
+                                          ) -> Optional[Reservation]:
+        """The paper's reuse path: an existing reserved workstation
+        with enough available resources for ``job``."""
+        candidates = [r for r in self.active_reservations
+                      if r.state is ReservationState.SERVING
+                      and r.has_capacity_for(job)]
+        if not candidates:
+            return None
+        return max(candidates, key=lambda r: r.node.idle_memory_mb)
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def reserve(self, node: Workstation, needed_mb: float) -> Reservation:
+        """Start a reserving period on ``node``."""
+        if node.reserved:
+            raise ValueError(f"node {node.node_id} is already reserved")
+        if not self.can_reserve():
+            raise ValueError("reservation limit reached")
+        node.reserved = True
+        reservation = Reservation(node=node, mode=self.mode,
+                                  needed_mb=needed_mb,
+                                  created_at=self.cluster.sim.now)
+        self._by_node[node.node_id] = reservation
+        self.history.append(reservation)
+        self._log("reserve", reservation)
+        if self.reserve_timeout_s > 0:
+            self.cluster.sim.schedule(
+                self.reserve_timeout_s,
+                lambda: self._timeout(reservation), daemon=True)
+        # An idle node is ready immediately (zero-length reserving period).
+        if reservation.ready():
+            self._mark_ready(reservation)
+        return reservation
+
+    def assign(self, reservation: Reservation, job: Job) -> None:
+        """Record that ``job`` is being migrated into ``reservation``
+        (call before the transfer starts)."""
+        if not reservation.active:
+            raise ValueError("reservation is not active")
+        reservation.state = ReservationState.SERVING
+        if reservation.serving_since is None:
+            reservation.serving_since = self.cluster.sim.now
+        reservation.migrated_job_ids.add(job.job_id)
+        reservation.inbound += 1
+        self._log("assign", reservation, job.job_id)
+
+    def job_arrived(self, reservation: Reservation, job: Job) -> None:
+        """Record that an inbound migration landed."""
+        reservation.inbound = max(0, reservation.inbound - 1)
+        self._log("arrive", reservation, job.job_id)
+
+    def cancel(self, reservation: Reservation) -> None:
+        """Blocking disappeared during the reserving period: return the
+        node to normal load sharing."""
+        if reservation.state is not ReservationState.RESERVING:
+            return
+        reservation.state = ReservationState.CANCELLED
+        reservation.closed_at = self.cluster.sim.now
+        self._close(reservation, "cancel")
+
+    def release(self, reservation: Reservation) -> None:
+        """All migrated jobs completed: turn the reservation flag off."""
+        if not reservation.active:
+            return
+        reservation.state = ReservationState.RELEASED
+        reservation.closed_at = self.cluster.sim.now
+        self._close(reservation, "release")
+
+    def _close(self, reservation: Reservation, kind: str) -> None:
+        node = reservation.node
+        node.reserved = False
+        self._by_node.pop(node.node_id, None)
+        self._log(kind, reservation)
+        self.cluster.notify_node_changed(node)
+
+    def _timeout(self, reservation: Reservation) -> None:
+        if reservation.state is ReservationState.RESERVING:
+            self._log("timeout", reservation)
+            self.cancel(reservation)
+
+    # ------------------------------------------------------------------
+    # event wiring
+    # ------------------------------------------------------------------
+    def _job_finished(self, job: Job, node: Workstation) -> None:
+        reservation = self._by_node.get(node.node_id)
+        if reservation is None or not reservation.active:
+            return
+        if reservation.state is ReservationState.SERVING:
+            reservation.migrated_job_ids.discard(job.job_id)
+            # The paper releases "when the reserved workstation
+            # completes executions of all the migrated jobs"; leftover
+            # local jobs (FIRST_FIT mode) do not extend the reservation.
+            if not reservation.migrated_job_ids and reservation.inbound == 0:
+                self.release(reservation)
+            return
+        if reservation.ready():
+            self._mark_ready(reservation)
+
+    def _mark_ready(self, reservation: Reservation) -> None:
+        self._log("ready", reservation)
+        if self.on_ready is not None:
+            self.on_ready(reservation)
+
+    def _log(self, kind: str, reservation: Reservation,
+             job_id: Optional[int] = None) -> None:
+        self.timeline.append(ReservationEvent(
+            time=self.cluster.sim.now, kind=kind,
+            node_id=reservation.node.node_id,
+            reservation_id=reservation.reservation_id, job_id=job_id))

@@ -1,0 +1,36 @@
+"""Experiment harness: reproduce every table and figure of the paper.
+
+* :mod:`repro.experiments.runner` — run one (trace, policy) pair;
+* :mod:`repro.experiments.tables` — Tables 1 and 2;
+* :mod:`repro.experiments.figures` — Figures 1-4;
+* :mod:`repro.experiments.ablations` — design-choice sweeps
+  (reservation mode, paging-model parameters, network speed,
+  baselines);
+* ``python -m repro.experiments`` — CLI to run everything.
+"""
+
+from repro.experiments.heterogeneity import run_heterogeneity_experiment
+from repro.experiments.runner import (
+    POLICIES,
+    ExperimentResult,
+    default_config,
+    run_experiment,
+    run_group,
+    run_trace,
+)
+from repro.experiments.scenario import (
+    build_blocking_trace,
+    run_blocking_scenario,
+)
+
+__all__ = [
+    "POLICIES",
+    "ExperimentResult",
+    "build_blocking_trace",
+    "default_config",
+    "run_blocking_scenario",
+    "run_experiment",
+    "run_group",
+    "run_heterogeneity_experiment",
+    "run_trace",
+]

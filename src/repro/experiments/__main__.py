@@ -1,0 +1,124 @@
+"""CLI: regenerate the paper's tables and figures.
+
+Usage::
+
+    python -m repro.experiments all            # everything, full scale
+    python -m repro.experiments table1 table2
+    python -m repro.experiments figure1 --scale 0.25
+    python -m repro.experiments figure1 --export-csv fig1.csv
+    python -m repro.experiments scenario       # constructed blocking demo
+    python -m repro.experiments heterogeneity  # §2.3/§6 extension
+    python -m repro.experiments ablations --scale 0.25
+    python -m repro.experiments figure3 --seed 7 --chart
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from typing import List
+
+from repro.experiments.ablations import ALL_ABLATIONS
+from repro.experiments.figures import ALL_FIGURES
+from repro.experiments.heterogeneity import run_heterogeneity_experiment
+from repro.experiments.scenario import (
+    large_job_slowdowns,
+    run_blocking_scenario,
+)
+from repro.experiments.tables import render_table1, render_table2
+from repro.metrics.export import figure_to_csv
+from repro.metrics.report import percentage_reduction, render_bar_chart
+from repro.workload.programs import WorkloadGroup
+
+TARGETS = (["table1", "table2"] + sorted(ALL_FIGURES)
+           + ["scenario", "heterogeneity", "ablations"])
+
+
+def _run_scenario() -> None:
+    base = run_blocking_scenario("g-loadsharing")
+    reco = run_blocking_scenario("v-reconfiguration")
+    big_base = large_job_slowdowns(base)
+    big_reco = large_job_slowdowns(reco)
+    print("Constructed blocking scenario (32 nodes):")
+    rows = [
+        ("total paging time (s)", base.summary.total_paging_time_s,
+         reco.summary.total_paging_time_s),
+        ("mean large-job slowdown", sum(big_base) / len(big_base),
+         sum(big_reco) / len(big_reco)),
+        ("average slowdown (all)", base.summary.average_slowdown,
+         reco.summary.average_slowdown),
+    ]
+    for name, g, v in rows:
+        print(f"  {name:28s} G={g:12.2f} V={v:12.2f} "
+              f"reduction={percentage_reduction(g, v):6.1f}%")
+    print(f"  reservations={reco.summary.extra.get('reservations', 0)} "
+          f"rescues="
+          f"{reco.summary.extra.get('reconfiguration_migrations', 0)}")
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-experiments",
+        description="Reproduce the paper's tables and figures.")
+    parser.add_argument("targets", nargs="+",
+                        help=f"targets: all, {', '.join(TARGETS)}")
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="trace subsampling factor in (0, 1]")
+    parser.add_argument("--seed", type=int, default=0,
+                        help="workload generation seed")
+    parser.add_argument("--export-csv", metavar="PATH", default=None,
+                        help="write figure comparison rows to CSV "
+                             "(single figure target only)")
+    parser.add_argument("--chart", action="store_true",
+                        help="also render ASCII bar charts for figures")
+    args = parser.parse_args(argv)
+
+    targets = list(args.targets)
+    if "all" in targets:
+        targets = list(TARGETS)
+
+    unknown = [t for t in targets if t not in TARGETS]
+    if unknown:
+        parser.error(f"unknown targets: {unknown}; choose from {TARGETS}")
+
+    figure_targets = [t for t in targets if t in ALL_FIGURES]
+    if args.export_csv and len(figure_targets) != 1:
+        parser.error("--export-csv needs exactly one figure target")
+
+    for target in targets:
+        started = time.time()
+        if target == "table1":
+            print(render_table1())
+        elif target == "table2":
+            print(render_table2())
+        elif target in ALL_FIGURES:
+            result = ALL_FIGURES[target](seed=args.seed, scale=args.scale)
+            print(result.render())
+            if args.chart:
+                for panel, rows in result.panels.items():
+                    keys = [result.baseline[0].policy,
+                            result.improved[0].policy]
+                    print()
+                    print(render_bar_chart(rows, "trace", keys,
+                                           title=f"{target} — {panel}"))
+            if args.export_csv:
+                figure_to_csv(result, target=args.export_csv)
+                print(f"[wrote {args.export_csv}]")
+        elif target == "scenario":
+            _run_scenario()
+        elif target == "heterogeneity":
+            report = run_heterogeneity_experiment(
+                group=WorkloadGroup.APP, trace_index=3,
+                seed=args.seed, scale=args.scale)
+            print(report.render())
+        elif target == "ablations":
+            for name, fn in ALL_ABLATIONS.items():
+                print(fn(seed=args.seed, scale=args.scale).render())
+                print()
+        print(f"[{target} done in {time.time() - started:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

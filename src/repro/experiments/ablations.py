@@ -1,0 +1,222 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+Each ablation runs one trace (default: trace 3 of a group) under a
+sweep of one design parameter and reports the headline metrics, so the
+sensitivity of the reproduction to every reconstructed knob is
+measurable:
+
+* ``reservation_mode`` — the paper's drain-all reserving period vs the
+  parenthetical first-fit alternative (§2.1);
+* ``max_reserved`` — how many workstations may be reserved (§2.2
+  fairness concern);
+* ``residency_alpha`` — competition bias of the substituted paging
+  model;
+* ``fault_cost`` — K, the peak fault rate of the substituted model;
+* ``network_speed`` — migration cost sensitivity (§5: "the migration
+  time is workload and network speed dependent");
+* ``load_info_staleness`` — load-exchange period (§6 mentions timely
+  and consistent dissemination as an open issue);
+* ``cpu_threshold`` — job slots per workstation;
+* ``baselines`` — every policy in the registry on the same trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.cluster.config import ClusterConfig
+from repro.core.reservation import ReservationMode
+from repro.experiments.runner import POLICIES, default_config, run_experiment
+from repro.metrics.report import render_table
+from repro.metrics.summary import RunSummary
+from repro.workload.programs import WorkloadGroup
+
+
+@dataclass
+class AblationResult:
+    name: str
+    rows: List[dict]
+
+    def render(self) -> str:
+        columns = list(self.rows[0].keys()) if self.rows else []
+        return render_table(self.rows, columns,
+                            title=f"Ablation: {self.name}")
+
+
+def _row(label: str, summary: RunSummary) -> dict:
+    return {
+        "variant": label,
+        "policy": summary.policy,
+        "exec (s)": summary.total_execution_time_s,
+        "queue (s)": summary.total_queuing_time_s,
+        "page (s)": summary.total_paging_time_s,
+        "slowdown": summary.average_slowdown,
+        "idle (MB)": summary.average_idle_memory_mb,
+        "migrations": float(summary.migrations),
+        "reservations": float(summary.extra.get("reservations", 0)),
+    }
+
+
+def reservation_mode_ablation(group: WorkloadGroup = WorkloadGroup.SPEC,
+                              trace_index: int = 3, seed: int = 0,
+                              scale: float = 1.0,
+                              config: Optional[ClusterConfig] = None
+                              ) -> AblationResult:
+    """Drain-all vs first-fit reserving periods (§2.1 alternative)."""
+    cfg = config if config is not None else default_config(group)
+    rows = []
+    for mode in (ReservationMode.DRAIN_ALL, ReservationMode.FIRST_FIT):
+        summary = run_experiment(
+            group, trace_index, policy="v-reconfiguration", seed=seed,
+            config=cfg, scale=scale,
+            policy_kwargs={"mode": mode}).summary
+        rows.append(_row(mode.value, summary))
+    return AblationResult("reserving-period termination rule", rows)
+
+
+def _config_sweep(name: str, values: Sequence, apply: Callable,
+                  group: WorkloadGroup, trace_index: int, seed: int,
+                  scale: float, policy: str = "v-reconfiguration",
+                  config: Optional[ClusterConfig] = None) -> AblationResult:
+    rows = []
+    for value in values:
+        cfg = apply(config if config is not None else default_config(group),
+                    value)
+        summary = run_experiment(group, trace_index, policy=policy,
+                                 seed=seed, config=cfg, scale=scale).summary
+        rows.append(_row(f"{name}={value}", summary))
+    return AblationResult(name, rows)
+
+
+def residency_alpha_ablation(group: WorkloadGroup = WorkloadGroup.SPEC,
+                             trace_index: int = 3, seed: int = 0,
+                             scale: float = 1.0,
+                             values: Sequence[float] = (0.5, 0.7, 0.85, 1.0)
+                             ) -> AblationResult:
+    return _config_sweep(
+        "residency_alpha", values,
+        lambda cfg, v: cfg.replace(residency_alpha=v),
+        group, trace_index, seed, scale)
+
+
+def fault_cost_ablation(group: WorkloadGroup = WorkloadGroup.SPEC,
+                        trace_index: int = 3, seed: int = 0,
+                        scale: float = 1.0,
+                        values: Sequence[float] = (100.0, 400.0, 800.0)
+                        ) -> AblationResult:
+    return _config_sweep(
+        "max_fault_rate", values,
+        lambda cfg, v: cfg.replace(max_fault_rate_per_cpu_s=v),
+        group, trace_index, seed, scale)
+
+
+def network_speed_ablation(group: WorkloadGroup = WorkloadGroup.SPEC,
+                           trace_index: int = 3, seed: int = 0,
+                           scale: float = 1.0,
+                           values: Sequence[float] = (10.0, 100.0, 1000.0)
+                           ) -> AblationResult:
+    """§5: faster networks shrink migration cost towards irrelevance."""
+    return _config_sweep(
+        "bandwidth_mbps", values,
+        lambda cfg, v: cfg.replace(network_bandwidth_mbps=v),
+        group, trace_index, seed, scale)
+
+
+def load_info_staleness_ablation(group: WorkloadGroup = WorkloadGroup.SPEC,
+                                 trace_index: int = 3, seed: int = 0,
+                                 scale: float = 1.0,
+                                 values: Sequence[float] = (0.0, 1.0, 5.0,
+                                                            15.0)
+                                 ) -> AblationResult:
+    return _config_sweep(
+        "exchange_interval_s", values,
+        lambda cfg, v: cfg.replace(load_exchange_interval_s=v),
+        group, trace_index, seed, scale)
+
+
+def cpu_threshold_ablation(group: WorkloadGroup = WorkloadGroup.SPEC,
+                           trace_index: int = 3, seed: int = 0,
+                           scale: float = 1.0,
+                           values: Sequence[int] = (2, 4, 6, 8)
+                           ) -> AblationResult:
+    return _config_sweep(
+        "cpu_threshold", values,
+        lambda cfg, v: cfg.replace(cpu_threshold=v),
+        group, trace_index, seed, scale)
+
+
+def max_reserved_ablation(group: WorkloadGroup = WorkloadGroup.SPEC,
+                          trace_index: int = 3, seed: int = 0,
+                          scale: float = 1.0,
+                          values: Sequence[int] = (1, 2, 4, 8)
+                          ) -> AblationResult:
+    cfg = default_config(group)
+    rows = []
+    for value in values:
+        summary = run_experiment(
+            group, trace_index, policy="v-reconfiguration", seed=seed,
+            config=cfg, scale=scale,
+            policy_kwargs={"max_reserved": value}).summary
+        rows.append(_row(f"max_reserved={value}", summary))
+    return AblationResult("max reserved workstations", rows)
+
+
+def baseline_sweep(group: WorkloadGroup = WorkloadGroup.SPEC,
+                   trace_index: int = 3, seed: int = 0,
+                   scale: float = 1.0,
+                   policies: Optional[Sequence[str]] = None
+                   ) -> AblationResult:
+    """Every policy in the registry on the same trace (§1-2 discussion:
+    no sharing, CPU-only, memory-only, suspension, G-LS, V-Reconf)."""
+    names = list(policies) if policies else list(POLICIES)
+    rows = []
+    for name in names:
+        summary = run_experiment(group, trace_index, policy=name,
+                                 seed=seed, scale=scale).summary
+        rows.append(_row(name, summary))
+    return AblationResult("policy comparison", rows)
+
+
+def victim_ranking_ablation(group: WorkloadGroup = WorkloadGroup.SPEC,
+                            trace_index: int = 3, seed: int = 0,
+                            scale: float = 1.0) -> AblationResult:
+    """§2.2 extension: rank rescue victims by demand alone (paper) vs
+    demand x age (using [5]'s lifetime prediction)."""
+    rows = []
+    for age_weighted in (False, True):
+        summary = run_experiment(
+            group, trace_index, policy="v-reconfiguration", seed=seed,
+            scale=scale,
+            policy_kwargs={"age_weighted_victims": age_weighted}).summary
+        label = "demand-x-age" if age_weighted else "demand-only"
+        rows.append(_row(label, summary))
+    return AblationResult("victim ranking rule", rows)
+
+
+def network_ram_ablation(group: WorkloadGroup = WorkloadGroup.APP,
+                         trace_index: int = 3, seed: int = 0,
+                         scale: float = 1.0) -> AblationResult:
+    """§2.3 extension: serve faults from remote memory ([12])."""
+    rows = []
+    for enabled in (False, True):
+        cfg = default_config(group).replace(network_ram=enabled)
+        summary = run_experiment(group, trace_index,
+                                 policy="v-reconfiguration", seed=seed,
+                                 config=cfg, scale=scale).summary
+        rows.append(_row(f"network_ram={enabled}", summary))
+    return AblationResult("network RAM fault service", rows)
+
+
+ALL_ABLATIONS: Dict[str, Callable[..., AblationResult]] = {
+    "reservation_mode": reservation_mode_ablation,
+    "residency_alpha": residency_alpha_ablation,
+    "fault_cost": fault_cost_ablation,
+    "network_speed": network_speed_ablation,
+    "load_info_staleness": load_info_staleness_ablation,
+    "cpu_threshold": cpu_threshold_ablation,
+    "max_reserved": max_reserved_ablation,
+    "baselines": baseline_sweep,
+    "network_ram": network_ram_ablation,
+    "victim_ranking": victim_ranking_ablation,
+}

@@ -1,0 +1,149 @@
+"""Figures 1-4: G-Loadsharing vs V-Reconfiguration across the traces.
+
+Each ``figureN`` function runs the corresponding experiment and
+returns a :class:`FigureResult` holding the two data series of the
+paper's figure (left and right panels) plus paper-reported reduction
+percentages for side-by-side comparison.  ``scale`` subsamples the
+traces for quick runs; the full-scale defaults reproduce the paper's
+configuration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.cluster.config import ClusterConfig
+from repro.experiments.runner import default_config, run_experiment
+from repro.metrics.report import comparison_table, render_table
+from repro.metrics.summary import RunSummary
+from repro.workload.programs import WorkloadGroup
+
+#: Paper-reported percentage reductions (V-Reconfiguration relative to
+#: G-Loadsharing), indexed by trace 1..5.  ``None`` marks values the
+#: paper describes only qualitatively ("modest"/"small").
+PAPER_REDUCTIONS: Dict[str, Sequence[Optional[float]]] = {
+    # Figure 1 (workload group 1)
+    "spec_execution_time": (29.3, 32.4, 32.4, 30.3, 27.4),
+    "spec_queuing_time": (24.8, 35.8, 36.7, 34.0, 38.2),
+    # Figure 2
+    "spec_slowdown": (23.4, 27.7, 22.6, 24.6, 28.46),
+    "spec_idle_memory": (12.9, 24.2, 29.7, 40.9, 50.8),
+    # Figure 3 (workload group 2)
+    "app_execution_time": (None, 13.4, 14.0, None, None),
+    "app_queuing_time": (None, 16.3, 16.8, None, None),
+    # Figure 4
+    "app_slowdown": (None, 16.3, 16.8, 6.8, None),
+    "app_balance_skew": (None, 10.3, 16.5, 6.3, None),
+}
+
+
+@dataclass
+class FigureResult:
+    """One reproduced figure: two panels over the five traces."""
+
+    figure: str
+    group: WorkloadGroup
+    baseline: List[RunSummary]
+    improved: List[RunSummary]
+    panels: Dict[str, List[dict]] = field(default_factory=dict)
+
+    def render(self) -> str:
+        blocks = []
+        for name, rows in self.panels.items():
+            columns = list(rows[0].keys()) if rows else []
+            blocks.append(render_table(rows, columns,
+                                       title=f"{self.figure} — {name}"))
+        return "\n\n".join(blocks)
+
+
+def _run_figure(figure: str, group: WorkloadGroup,
+                panel_metrics: Dict[str, Callable[[RunSummary], float]],
+                paper_keys: Dict[str, str],
+                seed: int = 0, scale: float = 1.0,
+                config: Optional[ClusterConfig] = None,
+                trace_indices: Optional[Sequence[int]] = None
+                ) -> FigureResult:
+    indices = list(trace_indices) if trace_indices else [1, 2, 3, 4, 5]
+    cfg = config if config is not None else default_config(group)
+    baseline, improved = [], []
+    for index in indices:
+        baseline.append(run_experiment(
+            group, index, policy="g-loadsharing", seed=seed, config=cfg,
+            scale=scale).summary)
+        improved.append(run_experiment(
+            group, index, policy="v-reconfiguration", seed=seed, config=cfg,
+            scale=scale).summary)
+    result = FigureResult(figure=figure, group=group,
+                          baseline=baseline, improved=improved)
+    for panel, metric in panel_metrics.items():
+        rows = comparison_table(baseline, improved, metric, panel)
+        paper = PAPER_REDUCTIONS.get(paper_keys[panel], ())
+        for row, index in zip(rows, indices):
+            value = paper[index - 1] if index - 1 < len(paper) else None
+            row["paper_reduction_pct"] = ("n/a" if value is None
+                                          else f"{value:.1f}")
+        result.panels[panel] = rows
+    return result
+
+
+def figure1(seed: int = 0, scale: float = 1.0,
+            config: Optional[ClusterConfig] = None,
+            trace_indices: Optional[Sequence[int]] = None) -> FigureResult:
+    """Figure 1: total execution times and queuing times, group 1."""
+    return _run_figure(
+        "Figure 1", WorkloadGroup.SPEC,
+        {"total execution time (s)": lambda s: s.total_execution_time_s,
+         "total queuing time (s)": lambda s: s.total_queuing_time_s},
+        {"total execution time (s)": "spec_execution_time",
+         "total queuing time (s)": "spec_queuing_time"},
+        seed=seed, scale=scale, config=config, trace_indices=trace_indices)
+
+
+def figure2(seed: int = 0, scale: float = 1.0,
+            config: Optional[ClusterConfig] = None,
+            trace_indices: Optional[Sequence[int]] = None) -> FigureResult:
+    """Figure 2: average slowdowns and average idle memory volumes,
+    group 1."""
+    return _run_figure(
+        "Figure 2", WorkloadGroup.SPEC,
+        {"average slowdown": lambda s: s.average_slowdown,
+         "average idle memory (MB)": lambda s: s.average_idle_memory_mb},
+        {"average slowdown": "spec_slowdown",
+         "average idle memory (MB)": "spec_idle_memory"},
+        seed=seed, scale=scale, config=config, trace_indices=trace_indices)
+
+
+def figure3(seed: int = 0, scale: float = 1.0,
+            config: Optional[ClusterConfig] = None,
+            trace_indices: Optional[Sequence[int]] = None) -> FigureResult:
+    """Figure 3: total execution times and queuing times, group 2."""
+    return _run_figure(
+        "Figure 3", WorkloadGroup.APP,
+        {"total execution time (s)": lambda s: s.total_execution_time_s,
+         "total queuing time (s)": lambda s: s.total_queuing_time_s},
+        {"total execution time (s)": "app_execution_time",
+         "total queuing time (s)": "app_queuing_time"},
+        seed=seed, scale=scale, config=config, trace_indices=trace_indices)
+
+
+def figure4(seed: int = 0, scale: float = 1.0,
+            config: Optional[ClusterConfig] = None,
+            trace_indices: Optional[Sequence[int]] = None) -> FigureResult:
+    """Figure 4: average slowdowns and average job balance skews,
+    group 2."""
+    return _run_figure(
+        "Figure 4", WorkloadGroup.APP,
+        {"average slowdown": lambda s: s.average_slowdown,
+         "average job balance skew": lambda s: s.average_job_balance_skew},
+        {"average slowdown": "app_slowdown",
+         "average job balance skew": "app_balance_skew"},
+        seed=seed, scale=scale, config=config, trace_indices=trace_indices)
+
+
+ALL_FIGURES = {
+    "figure1": figure1,
+    "figure2": figure2,
+    "figure3": figure3,
+    "figure4": figure4,
+}

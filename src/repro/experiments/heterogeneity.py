@@ -1,0 +1,151 @@
+"""Heterogeneous-cluster experiments (paper §2.3 and §6).
+
+§2.3: "In a heterogeneous cluster system, a reserved workstation will
+be the one with relatively large physical memory space."  §6 lists
+heterogeneity (CPU speed, memory capacity, network interfaces) as one
+of the two issues an implementation must address.
+
+This module builds heterogeneous variants of the paper's clusters and
+measures (a) whether the policies still drain the workloads, (b) how
+the headline metrics move relative to the homogeneous baseline of the
+same aggregate capacity, and (c) where V-Reconfiguration places its
+reservations — the §2.3 prediction is that big-memory nodes attract
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.cluster.config import ClusterConfig, WorkstationSpec
+from repro.experiments.runner import (
+    ExperimentResult,
+    default_config,
+    run_experiment,
+)
+from repro.metrics.report import render_table
+from repro.workload.programs import WorkloadGroup
+
+
+def heterogeneous_config(group: WorkloadGroup,
+                         big_fraction: float = 0.25,
+                         memory_ratio: float = 2.0,
+                         speed_ratio: float = 1.5) -> ClusterConfig:
+    """A heterogeneous variant of the paper's cluster for ``group``.
+
+    A ``big_fraction`` of the nodes get ``memory_ratio`` times the
+    memory and ``speed_ratio`` times the CPU speed; the remaining
+    nodes shrink proportionally so the cluster's aggregate memory and
+    CPU capacity match the homogeneous original (a capacity-neutral
+    redistribution, so differences are attributable to heterogeneity
+    itself).
+    """
+    if not 0 < big_fraction < 1:
+        raise ValueError("big_fraction must be in (0, 1)")
+    base = default_config(group)
+    n = base.num_nodes
+    num_big = max(1, round(big_fraction * n))
+    num_small = n - num_big
+    base_mem = base.spec.memory_mb
+    base_speed = base.spec.speed_factor
+    # capacity-neutral small-node values
+    small_mem = base_mem * (n - num_big * memory_ratio) / num_small
+    small_speed = base_speed * (n - num_big * speed_ratio) / num_small
+    if small_mem <= base.kernel_reserved_mb or small_speed <= 0:
+        raise ValueError("ratios too extreme for capacity neutrality")
+    config = base.replace(
+        spec=WorkstationSpec(
+            cpu_mhz=base.spec.cpu_mhz,
+            memory_mb=small_mem,
+            swap_mb=base.spec.swap_mb,
+            speed_factor=small_speed,
+        ))
+    for node_id in range(n - num_big, n):
+        config.node_overrides[node_id] = WorkstationSpec(
+            cpu_mhz=int(base.spec.cpu_mhz * speed_ratio),
+            memory_mb=base_mem * memory_ratio,
+            swap_mb=base.spec.swap_mb,
+            speed_factor=base_speed * speed_ratio,
+        )
+    return config
+
+
+@dataclass
+class HeterogeneityReport:
+    """Comparison of homogeneous vs heterogeneous runs."""
+
+    group: WorkloadGroup
+    trace_index: int
+    rows: List[dict]
+    #: node id -> number of reservation assignments it served
+    reservation_placement: Dict[int, int]
+    big_node_ids: List[int]
+
+    @property
+    def reservations_prefer_big_nodes(self) -> Optional[bool]:
+        """§2.3's prediction; None when no reservations happened."""
+        if not self.reservation_placement:
+            return None
+        on_big = sum(count for node, count in
+                     self.reservation_placement.items()
+                     if node in set(self.big_node_ids))
+        total = sum(self.reservation_placement.values())
+        return on_big / total >= 0.5
+
+    def render(self) -> str:
+        columns = list(self.rows[0].keys()) if self.rows else []
+        table = render_table(
+            self.rows, columns,
+            title=(f"Heterogeneity: {self.group.value}-trace-"
+                   f"{self.trace_index}"))
+        placement = (f"reservation placements: "
+                     f"{dict(sorted(self.reservation_placement.items()))} "
+                     f"(big nodes: {self.big_node_ids})")
+        return table + "\n" + placement
+
+
+def _row(label: str, result: ExperimentResult) -> dict:
+    summary = result.summary
+    return {
+        "cluster": label,
+        "policy": summary.policy,
+        "exec (s)": summary.total_execution_time_s,
+        "queue (s)": summary.total_queuing_time_s,
+        "page (s)": summary.total_paging_time_s,
+        "slowdown": summary.average_slowdown,
+        "reservations": float(summary.extra.get("reservations", 0)),
+    }
+
+
+def run_heterogeneity_experiment(group: WorkloadGroup = WorkloadGroup.APP,
+                                 trace_index: int = 3, seed: int = 0,
+                                 scale: float = 1.0,
+                                 big_fraction: float = 0.25,
+                                 memory_ratio: float = 2.0,
+                                 speed_ratio: float = 1.5
+                                 ) -> HeterogeneityReport:
+    """Homogeneous vs heterogeneous, both policies, one trace."""
+    hetero = heterogeneous_config(group, big_fraction=big_fraction,
+                                  memory_ratio=memory_ratio,
+                                  speed_ratio=speed_ratio)
+    rows: List[dict] = []
+    placement: Dict[int, int] = {}
+    for label, config in (("homogeneous", default_config(group)),
+                          ("heterogeneous", hetero)):
+        for policy in ("g-loadsharing", "v-reconfiguration"):
+            result = run_experiment(group, trace_index, policy=policy,
+                                    seed=seed, config=config,
+                                    scale=scale)
+            rows.append(_row(label, result))
+            if label == "heterogeneous" and hasattr(result.policy,
+                                                    "reservation_timeline"):
+                for event in result.policy.reservation_timeline:
+                    if event.kind == "reserve":
+                        placement[event.node_id] = (
+                            placement.get(event.node_id, 0) + 1)
+    return HeterogeneityReport(
+        group=group, trace_index=trace_index, rows=rows,
+        reservation_placement=placement,
+        big_node_ids=sorted(hetero.node_overrides),
+    )

@@ -1,0 +1,120 @@
+"""Run one workload trace under one scheduling policy.
+
+``run_experiment`` wires together the whole stack: trace generation,
+cluster construction, policy, metrics collection, trace replay, and
+summary extraction.  ``scale`` subsamples the trace (every k-th job)
+so the benchmark suite can exercise every figure quickly while the
+full-scale runs reproduce the paper's configuration exactly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Type
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.config import APP_CLUSTER, SPEC_CLUSTER, ClusterConfig
+from repro.core.reconfiguration import VReconfiguration
+from repro.metrics.collector import MetricsCollector
+from repro.metrics.summary import RunSummary, summarize_run
+from repro.scheduling import (
+    CpuBasedPolicy,
+    GLoadSharing,
+    LoadSharingPolicy,
+    LocalPolicy,
+    MemoryBasedPolicy,
+    SrptOracle,
+    SuspensionPolicy,
+)
+from repro.workload.generator import build_trace
+from repro.workload.programs import WorkloadGroup
+from repro.workload.trace import Trace
+
+#: Registry of runnable policies, keyed by CLI-friendly names.
+POLICIES: Dict[str, Type[LoadSharingPolicy]] = {
+    "local": LocalPolicy,
+    "cpu": CpuBasedPolicy,
+    "memory": MemoryBasedPolicy,
+    "g-loadsharing": GLoadSharing,
+    "suspension": SuspensionPolicy,
+    "srpt-oracle": SrptOracle,
+    "v-reconfiguration": VReconfiguration,
+}
+
+
+def default_config(group: WorkloadGroup) -> ClusterConfig:
+    """The paper's cluster for a workload group (fresh copy)."""
+    base = SPEC_CLUSTER if group is WorkloadGroup.SPEC else APP_CLUSTER
+    return base.replace()
+
+
+@dataclass
+class ExperimentResult:
+    """A run summary plus the artifacts needed for deeper inspection."""
+
+    summary: RunSummary
+    cluster: Cluster
+    policy: LoadSharingPolicy
+    collector: MetricsCollector
+    trace: Trace
+
+
+def subsample_trace(trace: Trace, scale: float) -> Trace:
+    """Keep roughly ``scale`` of the jobs, preserving the arrival shape
+    by taking every k-th job rather than a prefix."""
+    if not 0 < scale <= 1:
+        raise ValueError("scale must be in (0, 1]")
+    if scale == 1.0:
+        return trace
+    stride = max(1, round(1.0 / scale))
+    jobs = [job for i, job in enumerate(trace.jobs) if i % stride == 0]
+    return Trace(name=trace.name, group=trace.group,
+                 trace_index=trace.trace_index,
+                 duration_s=trace.duration_s, jobs=jobs)
+
+
+def run_trace(trace: Trace, policy_name: str,
+              config: ClusterConfig,
+              policy_kwargs: Optional[dict] = None) -> ExperimentResult:
+    """Replay ``trace`` on a fresh cluster under ``policy_name``."""
+    if policy_name not in POLICIES:
+        raise KeyError(f"unknown policy {policy_name!r}; "
+                       f"choose from {sorted(POLICIES)}")
+    cluster = Cluster(config)
+    policy = POLICIES[policy_name](cluster, **(policy_kwargs or {}))
+    collector = MetricsCollector(
+        cluster, pending_probe=lambda: len(policy.pending_jobs))
+    jobs = trace.build_jobs()
+    for job in jobs:
+        cluster.sim.schedule_at(job.submit_time,
+                                lambda job=job: policy.submit(job))
+    cluster.sim.run()
+    summary = summarize_run(policy, jobs, collector, trace.name)
+    return ExperimentResult(summary=summary, cluster=cluster,
+                            policy=policy, collector=collector, trace=trace)
+
+
+def run_experiment(group: WorkloadGroup, trace_index: int,
+                   policy: str = "g-loadsharing", seed: int = 0,
+                   config: Optional[ClusterConfig] = None,
+                   scale: float = 1.0,
+                   policy_kwargs: Optional[dict] = None
+                   ) -> ExperimentResult:
+    """Generate the published trace and run it under ``policy``."""
+    cfg = config if config is not None else default_config(group)
+    trace = build_trace(group, trace_index, seed=seed,
+                        num_nodes=cfg.num_nodes)
+    trace = subsample_trace(trace, scale)
+    return run_trace(trace, policy, cfg, policy_kwargs)
+
+
+def run_group(group: WorkloadGroup, policy: str, seed: int = 0,
+              config: Optional[ClusterConfig] = None,
+              scale: float = 1.0,
+              trace_indices: Optional[List[int]] = None
+              ) -> List[RunSummary]:
+    """Run all five traces of a group under one policy."""
+    indices = trace_indices if trace_indices is not None else [1, 2, 3, 4, 5]
+    return [run_experiment(group, i, policy=policy, seed=seed,
+                           config=config, scale=scale).summary
+            for i in indices]

@@ -1,0 +1,99 @@
+"""Periodic cluster sampling.
+
+The paper collects the total idle memory volume and the number of
+active jobs in each workstation every second (§4.1-4.2), and verifies
+that the averages are insensitive to the sampling interval (we expose
+the interval so the benchmark suite can repeat that check).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.cluster.cluster import Cluster
+
+
+@dataclass(frozen=True)
+class ClusterSample:
+    """One sampling instant."""
+
+    time: float
+    total_idle_memory_mb: float
+    #: Active job counts per node; reserved nodes hold None so that the
+    #: balance skew is computed "among all non-reserved workstations".
+    jobs_per_node: Tuple[Optional[int], ...]
+    num_reserved: int
+    pending_jobs: int
+
+    @property
+    def job_balance_skew(self) -> float:
+        """Standard deviation of active jobs among non-reserved nodes."""
+        counts = [c for c in self.jobs_per_node if c is not None]
+        if not counts:
+            return 0.0
+        mean = sum(counts) / len(counts)
+        return math.sqrt(sum((c - mean) ** 2 for c in counts) / len(counts))
+
+
+class MetricsCollector:
+    """Samples cluster state every ``sample_interval_s`` seconds."""
+
+    def __init__(self, cluster: Cluster,
+                 sample_interval_s: Optional[float] = None,
+                 pending_probe=None):
+        self.cluster = cluster
+        self.sample_interval_s = (
+            sample_interval_s if sample_interval_s is not None
+            else cluster.config.sample_interval_s)
+        if self.sample_interval_s <= 0:
+            raise ValueError("sample_interval_s must be positive")
+        #: Optional callable returning the current pending-queue length.
+        self.pending_probe = pending_probe
+        self.samples: List[ClusterSample] = []
+        self._schedule()
+
+    def _schedule(self) -> None:
+        self.cluster.sim.schedule(self.sample_interval_s, self._tick,
+                                  priority=4, daemon=True)
+
+    def _tick(self) -> None:
+        self.sample()
+        self._schedule()
+
+    def sample(self) -> ClusterSample:
+        """Take one sample immediately (also used by tests)."""
+        cluster = self.cluster
+        jobs_per_node = tuple(
+            None if node.reserved else node.num_running
+            for node in cluster.nodes)
+        pending = self.pending_probe() if self.pending_probe else 0
+        sample = ClusterSample(
+            time=cluster.sim.now,
+            total_idle_memory_mb=cluster.total_idle_memory_mb(),
+            jobs_per_node=jobs_per_node,
+            num_reserved=len(cluster.reserved_nodes()),
+            pending_jobs=pending,
+        )
+        self.samples.append(sample)
+        return sample
+
+    # ------------------------------------------------------------------
+    def average_idle_memory_mb(self, until: Optional[float] = None) -> float:
+        """Time-averaged total idle memory over the workload lifetime."""
+        values = [s.total_idle_memory_mb for s in self.samples
+                  if until is None or s.time <= until]
+        return sum(values) / len(values) if values else 0.0
+
+    def average_job_balance_skew(self, until: Optional[float] = None
+                                 ) -> float:
+        """Time-averaged balance skew among non-reserved workstations."""
+        values = [s.job_balance_skew for s in self.samples
+                  if until is None or s.time <= until]
+        return sum(values) / len(values) if values else 0.0
+
+    def reserved_node_seconds(self) -> float:
+        """Integral of the reserved-node count (reconfiguration cost)."""
+        return sum(s.num_reserved for s in self.samples) \
+            * self.sample_interval_s

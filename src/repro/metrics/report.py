@@ -1,0 +1,101 @@
+"""Report rendering: paper-style comparison tables.
+
+The evaluation figures all compare G-Loadsharing against
+V-Reconfiguration across the five traces of a workload group and
+report percentage reductions; :func:`comparison_table` produces that
+layout for any metric, and :func:`render_table` pretty-prints rows for
+the benchmark harness output.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Sequence
+
+from repro.metrics.summary import RunSummary
+
+
+def percentage_reduction(baseline: float, improved: float) -> float:
+    """Reduction of ``improved`` relative to ``baseline`` in percent
+    (positive = improvement)."""
+    if baseline == 0:
+        return 0.0
+    return (baseline - improved) / baseline * 100.0
+
+
+def comparison_table(baseline_runs: Sequence[RunSummary],
+                     improved_runs: Sequence[RunSummary],
+                     metric: Callable[[RunSummary], float],
+                     metric_name: str) -> List[Dict[str, object]]:
+    """Rows of {trace, baseline, improved, reduction_pct} for a metric."""
+    if len(baseline_runs) != len(improved_runs):
+        raise ValueError("run lists must pair up")
+    rows: List[Dict[str, object]] = []
+    for base, better in zip(baseline_runs, improved_runs):
+        if base.trace != better.trace:
+            raise ValueError(
+                f"trace mismatch: {base.trace} vs {better.trace}")
+        base_value = metric(base)
+        better_value = metric(better)
+        rows.append({
+            "trace": base.trace,
+            "metric": metric_name,
+            base.policy: base_value,
+            better.policy: better_value,
+            "reduction_pct": percentage_reduction(base_value, better_value),
+        })
+    return rows
+
+
+def render_bar_chart(rows: Sequence[Dict[str, object]],
+                     label_key: str, value_keys: Sequence[str],
+                     width: int = 40, title: str = "") -> str:
+    """ASCII bar chart: one group of bars per row, one bar per value
+    key — the paper's side-by-side G-vs-V figure style, in a
+    terminal."""
+    values = [float(row[key]) for row in rows for key in value_keys
+              if row.get(key) is not None]
+    peak = max(values) if values else 1.0
+    if peak <= 0:
+        peak = 1.0
+    label_width = max((len(str(row[label_key])) for row in rows),
+                      default=5)
+    key_width = max(len(k) for k in value_keys)
+    lines = [title] if title else []
+    for row in rows:
+        for i, key in enumerate(value_keys):
+            value = float(row[key])
+            bar = "#" * max(1, int(round(width * value / peak)))
+            label = str(row[label_key]) if i == 0 else ""
+            lines.append(f"{label:>{label_width}} {key:<{key_width}} "
+                         f"|{bar} {value:,.1f}")
+        lines.append("")
+    return "\n".join(lines).rstrip()
+
+
+def render_table(rows: Sequence[Dict[str, object]],
+                 columns: Sequence[str],
+                 title: str = "") -> str:
+    """Fixed-width text table (benchmark harness output)."""
+    widths = {col: len(col) for col in columns}
+    formatted: List[List[str]] = []
+    for row in rows:
+        cells = []
+        for col in columns:
+            value = row.get(col, "")
+            if isinstance(value, float):
+                text = f"{value:,.1f}"
+            else:
+                text = str(value)
+            widths[col] = max(widths[col], len(text))
+            cells.append(text)
+        formatted.append(cells)
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(widths[col]) for col in columns)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for cells in formatted:
+        lines.append("  ".join(cell.rjust(widths[col])
+                               for cell, col in zip(cells, columns)))
+    return "\n".join(lines)

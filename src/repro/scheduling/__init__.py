@@ -1,0 +1,37 @@
+"""Load-sharing policies.
+
+* :class:`~repro.scheduling.base.LoadSharingPolicy` — shared machinery:
+  submission handling, the pending queue, periodic overload
+  monitoring, and migration mechanics with cost accounting;
+* :class:`~repro.scheduling.local.LocalPolicy` — no load sharing;
+* :class:`~repro.scheduling.cpu_based.CpuBasedPolicy` — balances job
+  counts only;
+* :class:`~repro.scheduling.memory_based.MemoryBasedPolicy` — places by
+  idle memory only;
+* :class:`~repro.scheduling.g_loadsharing.GLoadSharing` — the dynamic
+  CPU+memory scheme of [3] (the paper's baseline, "G-Loadsharing");
+* :class:`~repro.scheduling.suspension.SuspensionPolicy` — the
+  brute-force alternative the paper argues against (§1);
+* :class:`repro.core.reconfiguration.VReconfiguration` — the paper's
+  contribution, built on top of :class:`GLoadSharing` (lives in
+  :mod:`repro.core`).
+"""
+
+from repro.scheduling.base import LoadSharingPolicy, PolicyStats
+from repro.scheduling.cpu_based import CpuBasedPolicy
+from repro.scheduling.g_loadsharing import GLoadSharing
+from repro.scheduling.local import LocalPolicy
+from repro.scheduling.memory_based import MemoryBasedPolicy
+from repro.scheduling.srpt import SrptOracle
+from repro.scheduling.suspension import SuspensionPolicy
+
+__all__ = [
+    "CpuBasedPolicy",
+    "GLoadSharing",
+    "LoadSharingPolicy",
+    "LocalPolicy",
+    "MemoryBasedPolicy",
+    "PolicyStats",
+    "SrptOracle",
+    "SuspensionPolicy",
+]

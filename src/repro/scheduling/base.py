@@ -1,0 +1,258 @@
+"""Shared machinery for load-sharing policies.
+
+The base class implements everything the paper's §1 framework
+describes around the placement decision itself:
+
+* **submission handling** — a job submitted at its home workstation is
+  placed by :meth:`select_node`; a remote placement is charged the
+  remote submission cost ``r``; when no node qualifies the job waits
+  in a FIFO pending queue and placement is retried on every cluster
+  state change;
+* **monitoring** — a periodic monitor (default 1 s) checks each node
+  for thrashing and calls :meth:`handle_overload`, where concrete
+  policies implement their migration logic;
+* **migration mechanics** — preemptive migration freezes the job,
+  transfers its working-set image at cost ``r + D/B``, and restarts it
+  at the destination, charging the delay to the job's ``t_mig``.
+
+Subclasses override :meth:`select_node`, :meth:`handle_overload`, and
+optionally :meth:`on_blocking` (called when an overloaded node has no
+qualified migration destination — the trigger of the paper's
+reconfiguration routine).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional
+from collections import deque
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.job import Job, JobState
+from repro.cluster.workstation import Workstation
+
+
+@dataclass
+class PolicyStats:
+    """Counters a policy accumulates while driving a workload."""
+
+    submissions: int = 0
+    local_placements: int = 0
+    remote_submissions: int = 0
+    migrations: int = 0
+    migration_attempts: int = 0
+    blocking_events: int = 0
+    pending_peak: int = 0
+    overload_checks: int = 0
+    extra: Dict[str, float] = field(default_factory=dict)
+
+
+class LoadSharingPolicy:
+    """Base class; concrete policies override the placement hooks."""
+
+    #: Human-readable policy name used in reports.
+    name = "base"
+
+    def __init__(self, cluster: Cluster,
+                 migration_cooldown_s: float = 60.0,
+                 min_remaining_for_migration_s: float = 5.0,
+                 migration_payoff_factor: float = 2.0):
+        self.cluster = cluster
+        self.sim = cluster.sim
+        self.config = cluster.config
+        self.stats = PolicyStats()
+        self.migration_cooldown_s = migration_cooldown_s
+        self.min_remaining_for_migration_s = min_remaining_for_migration_s
+        self.migration_payoff_factor = migration_payoff_factor
+        self._pending: Deque[Job] = deque()
+        self._wait_started: Dict[int, float] = {}
+        self._last_migration: Dict[int, float] = {}
+        self._draining = False
+        cluster.on_node_changed(self._on_node_changed)
+        self._schedule_monitor()
+
+    # ------------------------------------------------------------------
+    # submission path
+    # ------------------------------------------------------------------
+    def submit(self, job: Job) -> None:
+        """Entry point: a job arrives at its home workstation."""
+        self.stats.submissions += 1
+        job.state = JobState.PENDING
+        self._wait_started[job.job_id] = self.sim.now
+        if not self._try_place(job):
+            self._enqueue_pending(job)
+
+    def _enqueue_pending(self, job: Job) -> None:
+        self._pending.append(job)
+        self.stats.pending_peak = max(self.stats.pending_peak,
+                                      len(self._pending))
+
+    def _try_place(self, job: Job) -> bool:
+        node = self.select_node(job)
+        if node is None:
+            return False
+        if node.node_id == job.home_node:
+            self.stats.local_placements += 1
+            self._start(job, node)
+        else:
+            self.stats.remote_submissions += 1
+            job.remote_submissions += 1
+            self._start_remote(job, node)
+        return True
+
+    def _start(self, job: Job, node: Workstation) -> None:
+        self._charge_wait(job)
+        node.add_job(job)
+        self.cluster.notify_node_changed(node)
+
+    def _start_remote(self, job: Job, node: Workstation) -> None:
+        self._charge_wait(job)
+        job.state = JobState.MIGRATING
+        node.inbound_jobs += 1
+        delay = self.cluster.network.remote_cost_s
+
+        def arrive() -> None:
+            job.acct.migration_s += delay
+            node.inbound_jobs -= 1
+            node.add_job(job)
+            self.cluster.notify_node_changed(node)
+
+        self.cluster.network.submit_remote(arrive)
+
+    def _charge_wait(self, job: Job) -> None:
+        started = self._wait_started.pop(job.job_id, None)
+        if started is None:
+            return
+        waited = self.sim.now - started
+        if waited > 0:
+            job.acct.queue_s += waited
+            job.acct.pending_s += waited
+
+    # ------------------------------------------------------------------
+    # pending queue retry
+    # ------------------------------------------------------------------
+    def _on_node_changed(self, node: Workstation) -> None:
+        self._drain_pending()
+
+    def _drain_pending(self) -> None:
+        if self._draining or not self._pending:
+            return
+        self._draining = True
+        try:
+            progressed = True
+            while progressed and self._pending:
+                progressed = False
+                for _ in range(len(self._pending)):
+                    job = self._pending.popleft()
+                    if self._try_place(job):
+                        progressed = True
+                    else:
+                        self._pending.append(job)
+                        # FIFO fairness: if the head cannot be placed,
+                        # don't let later jobs overtake it this round.
+                        break
+        finally:
+            self._draining = False
+
+    @property
+    def pending_jobs(self) -> List[Job]:
+        return list(self._pending)
+
+    # ------------------------------------------------------------------
+    # monitoring and migration
+    # ------------------------------------------------------------------
+    def _schedule_monitor(self) -> None:
+        self.sim.schedule(self.config.monitor_interval_s,
+                          self._monitor_tick, priority=3, daemon=True)
+
+    def _monitor_tick(self) -> None:
+        for node in self.cluster.nodes:
+            self.stats.overload_checks += 1
+            if node.thrashing and not node.reserved:
+                self.handle_overload(node)
+        self._schedule_monitor()
+
+    def _migratable(self, job: Job) -> bool:
+        """A migration must plausibly pay for itself: the job keeps
+        running, its remaining work covers the transfer cost a few
+        times over, and it has not just been moved."""
+        if job.state is not JobState.RUNNING:
+            return False
+        cost = self.cluster.network.migration_cost_s(job.current_demand_mb)
+        needed = max(self.min_remaining_for_migration_s,
+                     self.migration_payoff_factor * cost)
+        if job.remaining_work_s < needed:
+            return False
+        last = self._last_migration.get(job.job_id)
+        return last is None or (self.sim.now - last
+                                >= self.migration_cooldown_s)
+
+    def migrate(self, job: Job, source: Workstation,
+                destination: Workstation,
+                on_arrival: Optional[Callable[[Job], None]] = None) -> float:
+        """Preemptively migrate ``job``; returns the charged delay."""
+        if job.state is not JobState.RUNNING:
+            raise ValueError(f"cannot migrate job {job.job_id} in state "
+                             f"{job.state}")
+        image_mb = job.current_demand_mb
+        source.remove_job(job)
+        job.state = JobState.MIGRATING
+        job.migrations += 1
+        self.stats.migrations += 1
+        self._last_migration[job.job_id] = self.sim.now
+        destination.inbound_jobs += 1
+
+        def arrive() -> None:
+            job.acct.migration_s += delay
+            destination.inbound_jobs -= 1
+            destination.add_job(job)
+            if on_arrival is not None:
+                on_arrival(job)
+            self.cluster.notify_node_changed(destination)
+
+        delay = self.cluster.network.migrate(image_mb, arrive)
+        self.cluster.notify_node_changed(source)
+        return delay
+
+    # ------------------------------------------------------------------
+    # policy hooks
+    # ------------------------------------------------------------------
+    def select_node(self, job: Job) -> Optional[Workstation]:
+        """Choose a workstation for a submission, or None to queue."""
+        raise NotImplementedError
+
+    def handle_overload(self, node: Workstation) -> None:
+        """React to a thrashing node (called by the monitor)."""
+
+    def on_blocking(self, node: Workstation, job: Optional[Job]) -> None:
+        """Called when ``node`` thrashes but no qualified migration
+        destination exists — the paper's blocking problem.  ``job`` is
+        the migration candidate that could not be placed."""
+        self.stats.blocking_events += 1
+
+    # ------------------------------------------------------------------
+    # helpers shared by concrete policies
+    # ------------------------------------------------------------------
+    def _live_node(self, node_id: int) -> Workstation:
+        return self.cluster.nodes[node_id]
+
+    def candidates_by_idle_memory(self,
+                                  exclude: Optional[int] = None
+                                  ) -> List[Workstation]:
+        """Nodes ordered by (idle memory desc, job count asc) using the
+        possibly stale load directory; each is live-verified by the
+        caller."""
+        snaps = [s for s in self.cluster.directory.snapshots()
+                 if s.accepting and s.node_id != exclude]
+        snaps.sort(key=lambda s: (-s.idle_memory_mb, s.num_jobs, s.node_id))
+        return [self._live_node(s.node_id) for s in snaps]
+
+    def find_migration_destination(self, job: Job,
+                                   exclude: Optional[int] = None
+                                   ) -> Optional[Workstation]:
+        """Qualified destination per [3]: enough idle memory for the
+        job's current demand and a free slot; largest idle memory wins."""
+        for node in self.candidates_by_idle_memory(exclude=exclude):
+            if node.accepts_migration(job):
+                return node
+        return None

@@ -1,0 +1,37 @@
+"""CPU-based load sharing: balance job counts, ignore memory.
+
+Represents the classic process-count balancing schemes the paper cites
+([5], [11], [14]): a submission goes to the node with the fewest
+running jobs that still has a free slot.  Memory demands play no role,
+so jobs with large allocations are scattered blindly — the situation
+that creates the blocking problem in the first place.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.job import Job
+from repro.cluster.workstation import Workstation
+from repro.scheduling.base import LoadSharingPolicy
+
+
+class CpuBasedPolicy(LoadSharingPolicy):
+    """Least-loaded-by-count placement, no memory awareness."""
+
+    name = "CPU-Loadsharing"
+
+    def select_node(self, job: Job) -> Optional[Workstation]:
+        home = self._live_node(job.home_node)
+        snaps = sorted(self.cluster.directory.snapshots(),
+                       key=lambda s: (s.num_jobs, s.node_id))
+        # prefer the home node among equally loaded candidates
+        if home.has_free_slot and not home.reserved:
+            least = snaps[0].num_jobs if snaps else 0
+            if home.num_running <= least:
+                return home
+        for snap in snaps:
+            node = self._live_node(snap.node_id)
+            if node.has_free_slot and not node.reserved:
+                return node
+        return None

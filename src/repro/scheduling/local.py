@@ -1,0 +1,26 @@
+"""No load sharing: every job runs on its home workstation.
+
+The degenerate baseline the load-sharing literature starts from — jobs
+queue behind the home node's CPU threshold and thrash when their
+combined demands exceed its memory.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.cluster.job import Job
+from repro.cluster.workstation import Workstation
+from repro.scheduling.base import LoadSharingPolicy
+
+
+class LocalPolicy(LoadSharingPolicy):
+    """Home-node-only placement, no migration."""
+
+    name = "Local"
+
+    def select_node(self, job: Job) -> Optional[Workstation]:
+        home = self._live_node(job.home_node)
+        if home.has_free_slot:
+            return home
+        return None

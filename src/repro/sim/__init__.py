@@ -1,0 +1,31 @@
+"""Discrete-event simulation kernel.
+
+The kernel is a minimal, dependency-free event-queue simulator designed
+for the cluster models in :mod:`repro.cluster`.  It provides:
+
+* :class:`~repro.sim.engine.Simulator` — the event loop, with exact
+  (heap-ordered) event scheduling and cancellable event handles;
+* :class:`~repro.sim.process.Process` — optional generator-based
+  coroutine processes (``yield delay`` / ``yield event``) for
+  trace replay and periodic samplers;
+* :class:`~repro.sim.rng.RandomStreams` — named, independently seeded
+  random streams so that every stochastic component of an experiment is
+  reproducible and independently perturbable.
+
+All model code schedules *state-recomputation* events rather than
+time-stepping: between events every rate in the system is constant, so
+completions and phase boundaries are computed exactly.
+"""
+
+from repro.sim.engine import EventHandle, Simulator, SimulationError
+from repro.sim.process import Process, interrupt
+from repro.sim.rng import RandomStreams
+
+__all__ = [
+    "EventHandle",
+    "Process",
+    "RandomStreams",
+    "SimulationError",
+    "Simulator",
+    "interrupt",
+]

@@ -1,0 +1,192 @@
+"""Event-queue simulation engine.
+
+The engine keeps a binary heap of ``(time, priority, sequence)`` keyed
+events.  Events are plain callables; cancellation is *lazy* — a
+cancelled :class:`EventHandle` stays in the heap but is skipped when it
+surfaces, which keeps cancellation O(1).
+
+Determinism guarantees:
+
+* events at the same timestamp fire in (priority, scheduling-order)
+  order;
+* the engine never consults wall-clock time or global random state.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Callable, List, Optional
+
+
+class SimulationError(RuntimeError):
+    """Raised for invalid uses of the simulation kernel."""
+
+
+class EventHandle:
+    """A scheduled event that may be cancelled before it fires.
+
+    Instances are returned by :meth:`Simulator.schedule` /
+    :meth:`Simulator.schedule_at` and compare by heap key.  A *daemon*
+    event (periodic samplers, load-info exchanges, monitors) does not
+    keep :meth:`Simulator.run` alive: an open-ended run stops once only
+    daemon events remain.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "cancelled",
+                 "daemon", "_owner")
+
+    def __init__(self, time: float, priority: int, seq: int,
+                 callback: Callable[[], None], daemon: bool = False,
+                 owner: "Optional[Simulator]" = None):
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback: Optional[Callable[[], None]] = callback
+        self.cancelled = False
+        self.daemon = daemon
+        self._owner = owner
+
+    def cancel(self) -> None:
+        """Prevent the event from firing (idempotent)."""
+        if self.cancelled or self.callback is None:
+            return
+        self.cancelled = True
+        self.callback = None  # break reference cycles early
+        if self._owner is not None and not self.daemon:
+            self._owner._non_daemon_pending -= 1
+
+    @property
+    def pending(self) -> bool:
+        """True while the event is scheduled and not cancelled/fired."""
+        return not self.cancelled and self.callback is not None
+
+    def __lt__(self, other: "EventHandle") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time, other.priority, other.seq)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<EventHandle t={self.time:.6f} prio={self.priority} {state}>"
+
+
+class Simulator:
+    """A deterministic discrete-event simulator.
+
+    Typical usage::
+
+        sim = Simulator()
+        sim.schedule(1.5, lambda: print("fires at t=1.5"))
+        sim.run()
+    """
+
+    def __init__(self, start_time: float = 0.0):
+        self._now = float(start_time)
+        self._heap: List[EventHandle] = []
+        self._seq = itertools.count()
+        self._running = False
+        self._event_count = 0
+        self._non_daemon_pending = 0
+
+    # ------------------------------------------------------------------
+    # clock and introspection
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        """Current simulation time in seconds."""
+        return self._now
+
+    @property
+    def event_count(self) -> int:
+        """Number of events executed so far (diagnostics)."""
+        return self._event_count
+
+    def pending_events(self) -> int:
+        """Number of not-yet-cancelled events still in the queue."""
+        return sum(1 for ev in self._heap if ev.pending)
+
+    # ------------------------------------------------------------------
+    # scheduling
+    # ------------------------------------------------------------------
+    def schedule(self, delay: float, callback: Callable[[], None],
+                 priority: int = 0, daemon: bool = False) -> EventHandle:
+        """Schedule ``callback`` to fire ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"negative delay: {delay!r}")
+        return self.schedule_at(self._now + delay, callback, priority, daemon)
+
+    def schedule_at(self, time: float, callback: Callable[[], None],
+                    priority: int = 0, daemon: bool = False) -> EventHandle:
+        """Schedule ``callback`` at an absolute simulation time."""
+        if time < self._now:
+            raise SimulationError(
+                f"cannot schedule at t={time!r} before now={self._now!r}")
+        handle = EventHandle(float(time), priority, next(self._seq),
+                             callback, daemon=daemon, owner=self)
+        heapq.heappush(self._heap, handle)
+        if not daemon:
+            self._non_daemon_pending += 1
+        return handle
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def step(self) -> bool:
+        """Execute the next pending event.
+
+        Returns False when the queue is exhausted.
+        """
+        while self._heap:
+            handle = heapq.heappop(self._heap)
+            if not handle.pending:
+                continue
+            self._now = handle.time
+            callback, handle.callback = handle.callback, None
+            if not handle.daemon:
+                self._non_daemon_pending -= 1
+            self._event_count += 1
+            callback()
+            return True
+        return False
+
+    def peek(self) -> Optional[float]:
+        """Time of the next pending event, or None if the queue is empty."""
+        while self._heap and not self._heap[0].pending:
+            heapq.heappop(self._heap)
+        return self._heap[0].time if self._heap else None
+
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Run events until the queue drains, ``until`` is reached, or
+        ``max_events`` have been executed.
+
+        An open-ended run (``until=None``) additionally stops once only
+        *daemon* events remain, so periodic services (samplers,
+        load-info exchanges) do not keep an idle simulation alive.
+
+        Returns the simulation time when the run stopped.  When
+        ``until`` is given the clock is advanced to exactly ``until``
+        even if the last event fired earlier.
+        """
+        if self._running:
+            raise SimulationError("Simulator.run() is not reentrant")
+        self._running = True
+        executed = 0
+        try:
+            while True:
+                if until is None and self._non_daemon_pending <= 0:
+                    break
+                next_time = self.peek()
+                if next_time is None:
+                    break
+                if until is not None and next_time > until:
+                    break
+                if max_events is not None and executed >= max_events:
+                    break
+                self.step()
+                executed += 1
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            self._now = float(until)
+        return self._now

@@ -1,0 +1,115 @@
+"""Generator-based coroutine processes on top of the event engine.
+
+A process body is a generator that yields either
+
+* a non-negative ``float`` — sleep for that many seconds, or
+* another :class:`Process` — wait until that process finishes.
+
+Processes are a convenience layer used by trace replay and periodic
+samplers; the performance-critical cluster models schedule raw events
+directly on the :class:`~repro.sim.engine.Simulator`.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Generator, List, Optional, Union
+
+from repro.sim.engine import EventHandle, SimulationError, Simulator
+
+Yieldable = Union[float, int, "Process"]
+ProcessBody = Generator[Yieldable, None, None]
+
+
+class Interrupt(Exception):
+    """Thrown into a process generator by :func:`interrupt`."""
+
+    def __init__(self, cause: object = None):
+        super().__init__(cause)
+        self.cause = cause
+
+
+class Process:
+    """A running coroutine bound to a simulator.
+
+    Use :meth:`Simulator` indirectly::
+
+        def body(sim):
+            yield 2.0            # sleep
+            yield other_process  # join
+
+        proc = Process(sim, body(sim), name="sampler")
+    """
+
+    def __init__(self, sim: Simulator, body: ProcessBody,
+                 name: str = "process", daemon: bool = False):
+        self._sim = sim
+        self._body = body
+        self.name = name
+        self.daemon = daemon
+        self.finished = False
+        self._waiters: List[Callable[[], None]] = []
+        self._pending_event: Optional[EventHandle] = None
+        # Start at the current instant (priority 1 so that processes
+        # started inside an event fire after plain state updates).
+        self._pending_event = sim.schedule(0.0, self._resume, priority=1,
+                                           daemon=daemon)
+
+    # ------------------------------------------------------------------
+    def _resume(self, payload: object = None,
+                exception: Optional[BaseException] = None) -> None:
+        self._pending_event = None
+        try:
+            if exception is not None:
+                yielded = self._body.throw(exception)
+            else:
+                yielded = self._body.send(payload)
+        except StopIteration:
+            self._finish()
+            return
+        except Interrupt:
+            # Uncaught interrupt terminates the process quietly.
+            self._finish()
+            return
+        self._wait_on(yielded)
+
+    def _wait_on(self, yielded: Yieldable) -> None:
+        if isinstance(yielded, (int, float)):
+            delay = float(yielded)
+            if delay < 0:
+                raise SimulationError(
+                    f"process {self.name!r} yielded negative delay {delay}")
+            self._pending_event = self._sim.schedule(
+                delay, self._resume, priority=1, daemon=self.daemon)
+        elif isinstance(yielded, Process):
+            if yielded.finished:
+                self._pending_event = self._sim.schedule(
+                    0.0, self._resume, priority=1, daemon=self.daemon)
+            else:
+                yielded._waiters.append(self._resume)
+        else:
+            raise SimulationError(
+                f"process {self.name!r} yielded unsupported value "
+                f"{yielded!r}")
+
+    def _finish(self) -> None:
+        self.finished = True
+        waiters, self._waiters = self._waiters, []
+        for waiter in waiters:
+            self._sim.schedule(0.0, waiter, priority=1)
+
+    # ------------------------------------------------------------------
+    def interrupt(self, cause: object = None) -> None:
+        """Cancel the process's current wait and throw Interrupt into it."""
+        if self.finished:
+            return
+        if self._pending_event is not None:
+            self._pending_event.cancel()
+            self._pending_event = None
+        self._sim.schedule(
+            0.0, lambda: self._resume(exception=Interrupt(cause)),
+            priority=1, daemon=self.daemon)
+
+
+def interrupt(process: Process, cause: object = None) -> None:
+    """Module-level convenience wrapper around :meth:`Process.interrupt`."""
+    process.interrupt(cause)

@@ -1,0 +1,22 @@
+"""Execution tracing: the kernel-instrumentation analog (paper §3.1).
+
+The paper's authors instrumented the Linux kernel to record "when a
+job process is interrupted for a system event, and how long this event
+lasts", plus per-interval memory/I/O activity.  In the simulator the
+same observability is provided by :class:`ExecutionTracer`: it
+subscribes to cluster and policy events and produces a queryable,
+renderable event log — per-job lifetime breakdowns, migration chains,
+reservation episodes.
+"""
+
+from repro.tracing.tracer import (
+    ExecutionTracer,
+    TraceEvent,
+    lifetime_breakdown_table,
+)
+
+__all__ = [
+    "ExecutionTracer",
+    "TraceEvent",
+    "lifetime_breakdown_table",
+]

@@ -1,0 +1,194 @@
+"""Event-log tracer over a cluster run.
+
+Records a timestamped event stream (submissions, placements,
+migrations, completions, reservation lifecycle when a
+V-Reconfiguration policy is attached) and renders the paper-style
+per-job lifetime breakdown — the §3.1 measurements: "current ages and
+lifetime of jobs, the sizes of memory allocation for each running
+job, ... events of page faults in each workstation".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+from repro.cluster.cluster import Cluster
+from repro.cluster.job import Job
+from repro.cluster.workstation import Workstation
+from repro.metrics.report import render_table
+from repro.scheduling.base import LoadSharingPolicy
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event."""
+
+    time: float
+    kind: str
+    job_id: Optional[int] = None
+    node_id: Optional[int] = None
+    detail: str = ""
+
+
+@dataclass
+class JobRecord:
+    """Aggregated view of one job's life (built from events)."""
+
+    job: Job
+    submitted_at: Optional[float] = None
+    started_at: Optional[float] = None
+    finished_at: Optional[float] = None
+    nodes_visited: List[int] = field(default_factory=list)
+
+    @property
+    def placement_delay_s(self) -> Optional[float]:
+        if self.submitted_at is None or self.started_at is None:
+            return None
+        return self.started_at - self.submitted_at
+
+
+class ExecutionTracer:
+    """Subscribes to a cluster (and optionally a policy) and records
+    the event stream.
+
+    Attach *before* replaying a workload::
+
+        tracer = ExecutionTracer(cluster)
+        tracer.watch_policy(policy)   # optional richer events
+        ... run ...
+        print(tracer.render_timeline(limit=50))
+        print(lifetime_breakdown_table(tracer.finished_jobs()))
+    """
+
+    def __init__(self, cluster: Cluster):
+        self.cluster = cluster
+        self.events: List[TraceEvent] = []
+        self.records: Dict[int, JobRecord] = {}
+        self._policy: Optional[LoadSharingPolicy] = None
+        self._known_nodes: Dict[int, Optional[int]] = {}
+        cluster.on_job_finished(self._job_finished)
+        cluster.on_node_changed(self._node_changed)
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def watch_policy(self, policy: LoadSharingPolicy) -> None:
+        """Wrap the policy's submit/migrate hooks to record intent
+        events in addition to the cluster's state events."""
+        self._policy = policy
+        original_submit = policy.submit
+        original_migrate = policy.migrate
+
+        def traced_submit(job: Job):
+            self._record("submit", job=job,
+                         node_id=job.home_node,
+                         detail=f"home={job.home_node}")
+            record = self._record_for(job)
+            if record.submitted_at is None:
+                record.submitted_at = self.cluster.sim.now
+            return original_submit(job)
+
+        def traced_migrate(job: Job, source: Workstation,
+                           destination: Workstation, **kwargs):
+            self._record(
+                "migrate", job=job, node_id=source.node_id,
+                detail=(f"{source.node_id}->{destination.node_id} "
+                        f"image={job.current_demand_mb:.0f}MB"))
+            return original_migrate(job, source, destination, **kwargs)
+
+        policy.submit = traced_submit
+        policy.migrate = traced_migrate
+
+    # ------------------------------------------------------------------
+    # event capture
+    # ------------------------------------------------------------------
+    def _record(self, kind: str, job: Optional[Job] = None,
+                node_id: Optional[int] = None, detail: str = "") -> None:
+        self.events.append(TraceEvent(
+            time=self.cluster.sim.now, kind=kind,
+            job_id=job.job_id if job is not None else None,
+            node_id=node_id, detail=detail))
+
+    def _record_for(self, job: Job) -> JobRecord:
+        if job.job_id not in self.records:
+            self.records[job.job_id] = JobRecord(job=job)
+        return self.records[job.job_id]
+
+    def _job_finished(self, job: Job, node: Workstation) -> None:
+        record = self._record_for(job)
+        record.finished_at = self.cluster.sim.now
+        self._record("finish", job=job, node_id=node.node_id,
+                     detail=f"slowdown={job.slowdown():.2f}")
+
+    def _node_changed(self, node: Workstation) -> None:
+        # Detect job starts by scanning the node's running set; cheap
+        # because node populations are small (<= CPU threshold).
+        for job in node.running_jobs:
+            record = self._record_for(job)
+            if record.started_at is None:
+                record.started_at = self.cluster.sim.now
+                self._record("start", job=job, node_id=node.node_id)
+            if (not record.nodes_visited
+                    or record.nodes_visited[-1] != node.node_id):
+                record.nodes_visited.append(node.node_id)
+
+    # ------------------------------------------------------------------
+    # queries and rendering
+    # ------------------------------------------------------------------
+    def events_of_kind(self, kind: str) -> List[TraceEvent]:
+        return [event for event in self.events if event.kind == kind]
+
+    def finished_jobs(self) -> List[Job]:
+        return [record.job for record in self.records.values()
+                if record.finished_at is not None]
+
+    def job_timeline(self, job_id: int) -> List[TraceEvent]:
+        return [event for event in self.events if event.job_id == job_id]
+
+    def render_timeline(self, limit: Optional[int] = None,
+                        kinds: Optional[Sequence[str]] = None) -> str:
+        """Human-readable event log (optionally filtered/truncated)."""
+        selected = [event for event in self.events
+                    if kinds is None or event.kind in kinds]
+        if limit is not None:
+            selected = selected[:limit]
+        lines = []
+        for event in selected:
+            job_part = f" job={event.job_id}" if event.job_id is not None \
+                else ""
+            node_part = f" node={event.node_id}" \
+                if event.node_id is not None else ""
+            detail = f"  {event.detail}" if event.detail else ""
+            lines.append(f"t={event.time:10.2f}s {event.kind:8s}"
+                         f"{job_part}{node_part}{detail}")
+        return "\n".join(lines)
+
+
+def lifetime_breakdown_table(jobs: Sequence[Job],
+                             top: Optional[int] = None) -> str:
+    """The paper's §3.1 measurement: per-job lifetime broken into CPU,
+    paging, I/O, queuing, and migration portions."""
+    ordered = sorted((job for job in jobs if job.finished),
+                     key=lambda job: -(job.finish_time - job.submit_time))
+    if top is not None:
+        ordered = ordered[:top]
+    rows = []
+    for job in ordered:
+        wall = job.finish_time - job.submit_time
+        rows.append({
+            "job": job.job_id,
+            "program": job.program,
+            "wall (s)": wall,
+            "cpu (s)": job.acct.cpu_s,
+            "page (s)": job.acct.page_s,
+            "io (s)": job.acct.io_s,
+            "queue (s)": job.acct.queue_s,
+            "mig (s)": job.acct.migration_s,
+            "slowdown": job.slowdown(),
+            "migs": float(job.migrations),
+        })
+    columns = ("job", "program", "wall (s)", "cpu (s)", "page (s)",
+               "io (s)", "queue (s)", "mig (s)", "slowdown", "migs")
+    return render_table(rows, columns,
+                        title="Per-job lifetime breakdown (paper §3.1)")

@@ -1,0 +1,46 @@
+"""Workloads: program catalogs, arrival processes, traces.
+
+Reproduces the paper's §3.2–3.3 experimental workloads:
+
+* :mod:`repro.workload.programs` — the 6 SPEC-2000 programs of Table 1
+  and the 7 scientific/system programs of Table 2;
+* :mod:`repro.workload.arrivals` — the lognormal arrival-rate function
+  (eq. 1) and the five published trace intensities per group;
+* :mod:`repro.workload.generator` — synthesizes the ten workload
+  traces (SPEC-Trace-1..5, App-Trace-1..5);
+* :mod:`repro.workload.trace` — the trace container plus the on-disk
+  format with per-10 ms activity records (§3.3.2).
+"""
+
+from repro.workload.arrivals import (
+    TRACE_SPECS,
+    LognormalArrivals,
+    TraceSpec,
+    lognormal_rate,
+)
+from repro.workload.generator import TraceGenerator, build_trace
+from repro.workload.programs import (
+    APP_PROGRAMS,
+    SPEC_PROGRAMS,
+    Program,
+    WorkloadGroup,
+    programs_for_group,
+)
+from repro.workload.trace import ActivityRecord, Trace, TraceJob
+
+__all__ = [
+    "APP_PROGRAMS",
+    "ActivityRecord",
+    "LognormalArrivals",
+    "Program",
+    "SPEC_PROGRAMS",
+    "TRACE_SPECS",
+    "Trace",
+    "TraceGenerator",
+    "TraceJob",
+    "TraceSpec",
+    "WorkloadGroup",
+    "build_trace",
+    "lognormal_rate",
+    "programs_for_group",
+]

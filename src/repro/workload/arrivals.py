@@ -1,0 +1,125 @@
+"""Lognormal job arrival process (paper eq. 1 and §3.3.2).
+
+The paper generates job submission rates from the lognormal function
+
+.. math::
+
+    R_{ln}(t) = \\frac{1}{\\sqrt{2\\pi}\\,\\sigma t}
+                e^{-\\frac{(\\ln t - \\mu)^2}{2\\sigma^2}},  \\quad t > 0
+
+and collects five traces per workload group with the published
+(σ = μ, job count, duration) combinations (``TRACE_SPECS``).
+
+**Reconstruction note (DESIGN.md §5).**  Eq. 1 is the lognormal
+probability density; the paper does not spell out how it maps onto
+submission instants.  Reading it as an arrival-*time* density places
+the median arrival at ``exp(mu)`` — tens of seconds — which would cram
+nearly the whole trace into the first minute and contradicts the
+published picture of hour-long traces at five different rates.  We
+therefore follow the standard usage in the workload literature the
+paper cites ([4], [10]): **inter-arrival gaps are lognormally
+distributed** with the published (μ, σ), normalized so that exactly
+``num_jobs`` jobs span exactly ``duration_s`` seconds.  Because a raw
+lognormal with σ ≈ 3–4 is dominated by a handful of enormous gaps
+(multi-hundred-second silences that the continuous published traces do
+not exhibit), gaps are winsorized at the 85th percentile of the drawn
+sample before normalization — the published σ is preserved as the
+*burstiness ordering* (trace 1 burstiest/sparsest … trace 5
+steadiest/densest) while single pathological gaps are bounded.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import List, Optional
+
+
+def lognormal_rate(t: float, mu: float, sigma: float) -> float:
+    """The paper's rate function R_ln(t) (eq. 1), as published."""
+    if t <= 0:
+        return 0.0
+    return (1.0 / (math.sqrt(2.0 * math.pi) * sigma * t)
+            * math.exp(-((math.log(t) - mu) ** 2) / (2.0 * sigma ** 2)))
+
+
+@dataclass(frozen=True)
+class TraceSpec:
+    """One published trace configuration (paper §3.3.2)."""
+
+    index: int
+    label: str
+    sigma: float
+    mu: float
+    num_jobs: int
+    duration_s: float
+
+
+#: The five published intensities; identical parameters are used for
+#: both workload groups (SPEC-Trace-i and App-Trace-i).
+TRACE_SPECS: tuple = (
+    TraceSpec(1, "light job submissions", 4.0, 4.0, 359, 3586.0),
+    TraceSpec(2, "moderate job submissions", 3.7, 3.7, 448, 3589.0),
+    TraceSpec(3, "normal job submissions", 3.0, 3.0, 578, 3581.0),
+    TraceSpec(4, "moderately intensive job submissions", 2.0, 2.0, 684,
+              3585.0),
+    TraceSpec(5, "highly intensive job submissions", 1.5, 1.5, 777, 3582.0),
+)
+
+
+def trace_spec(index: int) -> TraceSpec:
+    """The published spec for trace ``index`` (1-based)."""
+    if not 1 <= index <= len(TRACE_SPECS):
+        raise ValueError(f"trace index must be 1..{len(TRACE_SPECS)}")
+    return TRACE_SPECS[index - 1]
+
+
+class LognormalArrivals:
+    """Generates arrival instants with lognormal inter-arrival gaps.
+
+    Exactly ``spec.num_jobs`` arrivals span ``(0, spec.duration_s]``.
+    Without an explicit ``rng`` a deterministic spec-derived seed is
+    used, so the published traces are reproducible by default.
+    """
+
+    #: Gaps are capped at this sample quantile before normalization.
+    WINSORIZE_QUANTILE = 0.85
+
+    def __init__(self, spec: TraceSpec,
+                 rng: Optional[random.Random] = None,
+                 winsorize_quantile: Optional[float] = None):
+        self.spec = spec
+        q = (winsorize_quantile if winsorize_quantile is not None
+             else self.WINSORIZE_QUANTILE)
+        if not 0.0 < q <= 1.0:
+            raise ValueError("winsorize_quantile must be in (0, 1]")
+        self.winsorize_quantile = q
+        if rng is None:
+            rng = random.Random(hash(("repro-arrivals", spec.index,
+                                      spec.num_jobs)) & 0xFFFFFFFF)
+        self._rng = rng
+
+    def arrival_times(self) -> List[float]:
+        spec = self.spec
+        gaps = [self._rng.lognormvariate(spec.mu, spec.sigma)
+                for _ in range(spec.num_jobs)]
+        cap = sorted(gaps)[int(self.winsorize_quantile * (len(gaps) - 1))]
+        gaps = [min(gap, cap) for gap in gaps]
+        scale = spec.duration_s / sum(gaps)
+        times: List[float] = []
+        t = 0.0
+        for gap in gaps:
+            t += gap * scale
+            times.append(t)
+        return times
+
+    def burstiness(self) -> float:
+        """Coefficient of variation of the (winsorized) gaps — a
+        diagnostic of how bursty the trace is; decreases from trace 1
+        to trace 5."""
+        times = self.arrival_times()
+        gaps = [b - a for a, b in zip([0.0] + times[:-1], times)]
+        mean = sum(gaps) / len(gaps)
+        var = sum((g - mean) ** 2 for g in gaps) / len(gaps)
+        return math.sqrt(var) / mean if mean > 0 else 0.0

@@ -1,0 +1,76 @@
+"""Workload characterization (the paper's §5 workload conditions).
+
+§5 lists "majority jobs in the workload are equally sized in their
+memory demands" as a condition under which virtual reconfiguration
+cannot help, and asserts "in practice, our experiments have shown that
+the memory demands of jobs in a workload are rarely equally sized".
+This module quantifies that: demand dispersion, the large-job
+fraction, and a one-line workload characterization used by reports.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.workload.trace import Trace
+
+
+@dataclass(frozen=True)
+class WorkloadCharacter:
+    """Memory-demand characterization of one trace."""
+
+    num_jobs: int
+    mean_demand_mb: float
+    std_demand_mb: float
+    max_demand_mb: float
+    #: Fraction of jobs whose peak demand exceeds half a workstation's
+    #: user memory (the operational "large job" notion).
+    large_fraction: float
+
+    @property
+    def coefficient_of_variation(self) -> float:
+        """Demand dispersion; ~0 means 'equally sized' (§5's bad case)."""
+        if self.mean_demand_mb == 0:
+            return 0.0
+        return self.std_demand_mb / self.mean_demand_mb
+
+    @property
+    def equally_sized(self) -> bool:
+        """§5's unsuccessful-condition check."""
+        return self.coefficient_of_variation < 0.1
+
+    def summary(self) -> str:
+        return (f"{self.num_jobs} jobs, demand "
+                f"{self.mean_demand_mb:.0f}±{self.std_demand_mb:.0f} MB "
+                f"(CV {self.coefficient_of_variation:.2f}), "
+                f"max {self.max_demand_mb:.0f} MB, "
+                f"large fraction {self.large_fraction:.1%}")
+
+
+def characterize_demands(demands_mb: Sequence[float],
+                         user_memory_mb: float) -> WorkloadCharacter:
+    """Characterize a list of peak memory demands."""
+    if not demands_mb:
+        raise ValueError("empty demand list")
+    if user_memory_mb <= 0:
+        raise ValueError("user_memory_mb must be positive")
+    n = len(demands_mb)
+    mean = sum(demands_mb) / n
+    var = sum((d - mean) ** 2 for d in demands_mb) / n
+    threshold = 0.5 * user_memory_mb
+    return WorkloadCharacter(
+        num_jobs=n,
+        mean_demand_mb=mean,
+        std_demand_mb=math.sqrt(var),
+        max_demand_mb=max(demands_mb),
+        large_fraction=sum(1 for d in demands_mb if d > threshold) / n,
+    )
+
+
+def characterize_trace(trace: Trace,
+                       user_memory_mb: float) -> WorkloadCharacter:
+    """Characterize a generated trace's peak demands."""
+    return characterize_demands(
+        [job.peak_demand_mb for job in trace.jobs], user_memory_mb)

@@ -1,0 +1,35 @@
+"""Shared test fixtures: tiny clusters and jobs with known behaviour."""
+
+from repro.cluster import Cluster, ClusterConfig, WorkstationSpec
+from repro.cluster.job import Job, MemoryProfile
+
+
+def tiny_config(num_nodes=4, memory_mb=100.0, cpu_threshold=3,
+                **kwargs) -> ClusterConfig:
+    defaults = dict(
+        num_nodes=num_nodes,
+        spec=WorkstationSpec(memory_mb=memory_mb, swap_mb=memory_mb),
+        kernel_reserved_mb=0.0,
+        load_exchange_interval_s=0.0,   # fresh load info for determinism
+        monitor_interval_s=0.5,
+        cpu_threshold=cpu_threshold,
+    )
+    defaults.update(kwargs)
+    return ClusterConfig(**defaults)
+
+
+def tiny_cluster(**kwargs) -> Cluster:
+    return Cluster(tiny_config(**kwargs))
+
+
+def job(work=50.0, demand=30.0, home=0, submit=0.0, **kwargs) -> Job:
+    return Job(program=kwargs.pop("program", "t"), cpu_work_s=work,
+               memory=MemoryProfile.constant(demand),
+               home_node=home, submit_time=submit, **kwargs)
+
+
+def drive(policy, jobs):
+    """Schedule submissions for ``jobs`` through ``policy``."""
+    sim = policy.cluster.sim
+    for j in jobs:
+        sim.schedule_at(j.submit_time, lambda j=j: policy.submit(j))

@@ -1,0 +1,138 @@
+"""Unit tests for the lognormal arrival process (paper eq. 1)."""
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workload.arrivals import (
+    TRACE_SPECS,
+    LognormalArrivals,
+    lognormal_rate,
+    trace_spec,
+)
+
+
+class TestRateFunction:
+    def test_zero_for_nonpositive_t(self):
+        assert lognormal_rate(0.0, 3.0, 3.0) == 0.0
+        assert lognormal_rate(-5.0, 3.0, 3.0) == 0.0
+
+    def test_positive_for_positive_t(self):
+        assert lognormal_rate(10.0, 3.0, 3.0) > 0.0
+
+    def test_integrates_to_one(self):
+        """R_ln is a probability density: its integral over (0, inf) is 1."""
+        mu = sigma = 2.0
+        total, t, dt = 0.0, 1e-4, 0.01
+        while t < 5e4:
+            total += lognormal_rate(t, mu, sigma) * dt
+            t += dt
+            dt *= 1.002  # geometric grid for the long tail
+        assert total == pytest.approx(1.0, rel=0.02)
+
+    def test_mode_at_exp_mu_minus_sigma_squared(self):
+        mu, sigma = 3.0, 1.0
+        mode = math.exp(mu - sigma ** 2)
+        below = lognormal_rate(mode * 0.8, mu, sigma)
+        at = lognormal_rate(mode, mu, sigma)
+        above = lognormal_rate(mode * 1.2, mu, sigma)
+        assert at > below and at > above
+
+
+class TestTraceSpecs:
+    def test_five_published_specs(self):
+        assert len(TRACE_SPECS) == 5
+        volumes = [spec.num_jobs for spec in TRACE_SPECS]
+        assert volumes == [359, 448, 578, 684, 777]
+
+    def test_parameters_match_paper(self):
+        assert (TRACE_SPECS[0].sigma, TRACE_SPECS[0].mu) == (4.0, 4.0)
+        assert (TRACE_SPECS[1].sigma, TRACE_SPECS[1].mu) == (3.7, 3.7)
+        assert (TRACE_SPECS[2].sigma, TRACE_SPECS[2].mu) == (3.0, 3.0)
+        assert (TRACE_SPECS[3].sigma, TRACE_SPECS[3].mu) == (2.0, 2.0)
+        assert (TRACE_SPECS[4].sigma, TRACE_SPECS[4].mu) == (1.5, 1.5)
+
+    def test_durations_are_about_an_hour(self):
+        for spec in TRACE_SPECS:
+            assert 3580.0 <= spec.duration_s <= 3590.0
+
+    def test_trace_spec_lookup(self):
+        assert trace_spec(3).num_jobs == 578
+        with pytest.raises(ValueError):
+            trace_spec(0)
+        with pytest.raises(ValueError):
+            trace_spec(6)
+
+
+class TestArrivalPlacement:
+    def test_exactly_the_published_job_count(self):
+        for spec in TRACE_SPECS:
+            times = LognormalArrivals(spec).arrival_times()
+            assert len(times) == spec.num_jobs
+
+    def test_all_arrivals_within_duration(self):
+        for spec in TRACE_SPECS:
+            times = LognormalArrivals(spec).arrival_times()
+            assert all(0.0 < t <= spec.duration_s + 1e-6 for t in times)
+
+    def test_last_arrival_at_duration(self):
+        """Normalization pins the span to the published duration."""
+        spec = trace_spec(3)
+        times = LognormalArrivals(spec).arrival_times()
+        assert times[-1] == pytest.approx(spec.duration_s)
+
+    def test_deterministic_without_rng(self):
+        spec = trace_spec(3)
+        a = LognormalArrivals(spec).arrival_times()
+        b = LognormalArrivals(spec).arrival_times()
+        assert a == b
+
+    def test_different_rngs_differ(self):
+        spec = trace_spec(3)
+        a = LognormalArrivals(spec, rng=random.Random(1)).arrival_times()
+        b = LognormalArrivals(spec, rng=random.Random(2)).arrival_times()
+        assert a != b
+
+    def test_arrivals_sorted_strictly(self):
+        for spec in TRACE_SPECS:
+            times = LognormalArrivals(spec).arrival_times()
+            assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_arrivals_spread_over_the_hour(self):
+        """No decile of the window is empty (the winsorized model does
+        not produce multi-hundred-second dead zones)."""
+        for spec in TRACE_SPECS:
+            times = LognormalArrivals(spec).arrival_times()
+            bins = [0] * 10
+            for t in times:
+                bins[min(9, int(t / spec.duration_s * 10))] += 1
+            assert all(count > 0 for count in bins), (spec.index, bins)
+
+    def test_burstiness_decreases_with_intensity(self):
+        """Trace 1 (sigma=4) is burstier than trace 5 (sigma=1.5)."""
+        b1 = LognormalArrivals(trace_spec(1)).burstiness()
+        b5 = LognormalArrivals(trace_spec(5)).burstiness()
+        assert b1 > b5
+
+    def test_mean_rate_increases_with_trace_index(self):
+        rates = [spec.num_jobs / spec.duration_s for spec in TRACE_SPECS]
+        assert rates == sorted(rates)
+
+    def test_invalid_winsorize_quantile(self):
+        with pytest.raises(ValueError):
+            LognormalArrivals(trace_spec(1), winsorize_quantile=0.0)
+        with pytest.raises(ValueError):
+            LognormalArrivals(trace_spec(1), winsorize_quantile=1.5)
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_placement_properties(self, seed):
+        spec = trace_spec(2)
+        times = LognormalArrivals(
+            spec, rng=random.Random(seed)).arrival_times()
+        assert len(times) == spec.num_jobs
+        assert times == sorted(times)
+        assert all(t > 0 for t in times)
+        assert times[-1] == pytest.approx(spec.duration_s)

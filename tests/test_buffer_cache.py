@@ -1,0 +1,93 @@
+"""Unit tests for the I/O buffer-cache model."""
+
+import pytest
+
+from repro.cluster.job import Job, MemoryProfile
+
+from helpers import job, tiny_cluster
+
+
+def io_job(work=100.0, demand=10.0, io=1.0, cache=50.0):
+    return Job(program="io", cpu_work_s=work,
+               memory=MemoryProfile.constant(demand),
+               io_stall_per_cpu_s=io, buffer_cache_mb=cache)
+
+
+class TestBufferCache:
+    def test_cached_io_runs_at_nominal_stall(self):
+        """Plenty of free memory: the cache fits, I/O costs exactly the
+        nominal stall."""
+        cluster = tiny_cluster(num_nodes=1, memory_mb=500.0)
+        j = io_job(work=100.0, io=1.0, cache=50.0)
+        cluster.nodes[0].add_job(j)
+        cluster.sim.run()
+        # wall = work * (1 + io) = 200s
+        assert j.finish_time == pytest.approx(200.0, rel=1e-6)
+        assert j.acct.io_s == pytest.approx(100.0, rel=1e-6)
+
+    def test_squeezed_cache_inflates_io(self):
+        """Memory pressure reclaims the cache: I/O slows down by the
+        uncached penalty."""
+        cluster = tiny_cluster(num_nodes=1, memory_mb=100.0,
+                               uncached_io_penalty=2.0)
+        hog = job(work=1000.0, demand=100.0)  # eats all free memory
+        io = io_job(work=50.0, demand=0.0, io=1.0, cache=50.0)
+        cluster.nodes[0].add_job(hog)
+        cluster.nodes[0].add_job(io)
+        cluster.sim.run(until=400.0)
+        # cache hit 0 -> io stall factor 1 + 2.0 = 3.0
+        cluster.nodes[0].running_jobs
+        assert io.acct.io_s > 0
+        per_cpu_io = io.acct.io_s / max(io.acct.cpu_s, 1e-9)
+        assert per_cpu_io == pytest.approx(3.0, rel=0.05)
+
+    def test_partial_cache_partial_penalty(self):
+        cluster = tiny_cluster(num_nodes=1, memory_mb=100.0,
+                               uncached_io_penalty=2.0)
+        hog = job(work=1000.0, demand=75.0)   # leaves 25MB free
+        io = io_job(work=50.0, demand=0.0, io=1.0, cache=50.0)
+        cluster.nodes[0].add_job(hog)
+        cluster.nodes[0].add_job(io)
+        cluster.sim.run(until=200.0)
+        cluster.nodes[0].running_jobs
+        # cache hit 0.5 -> factor 1 + 2.0*0.5 = 2.0
+        per_cpu_io = io.acct.io_s / max(io.acct.cpu_s, 1e-9)
+        assert per_cpu_io == pytest.approx(2.0, rel=0.05)
+
+    def test_jobs_without_cache_unaffected(self):
+        cluster = tiny_cluster(num_nodes=1, memory_mb=100.0)
+        hog = job(work=50.0, demand=100.0)
+        plain = job(work=50.0, demand=0.0)
+        cluster.nodes[0].add_job(hog)
+        cluster.nodes[0].add_job(plain)
+        cluster.sim.run()
+        assert plain.acct.io_s == pytest.approx(0.0)
+
+    def test_cache_never_causes_faults(self):
+        """The cache is reclaimed before anyone pages: a job whose
+        *cache* wish exceeds free memory must not fault."""
+        cluster = tiny_cluster(num_nodes=1, memory_mb=100.0)
+        io = io_job(work=50.0, demand=40.0, io=0.5, cache=500.0)
+        cluster.nodes[0].add_job(io)
+        assert not cluster.nodes[0].thrashing
+        cluster.sim.run()
+        assert io.acct.page_s == pytest.approx(0.0)
+
+    def test_group2_programs_carry_cache(self):
+        from repro.workload.programs import APP_PROGRAMS
+        io_programs = [p for p in APP_PROGRAMS
+                       if p.io_stall_per_cpu_s > 0]
+        assert all(p.buffer_cache_mb > 0 for p in io_programs)
+
+    def test_trace_round_trips_cache(self):
+        import io as _io
+        from repro.workload.generator import build_trace
+        from repro.workload.programs import WorkloadGroup
+        from repro.workload.trace import Trace
+        trace = build_trace(WorkloadGroup.APP, 1, seed=1)
+        loaded = Trace.read(_io.StringIO(trace.dumps()))
+        cached = [j for j in trace.jobs if j.buffer_cache_mb > 0]
+        assert cached
+        for a, b in zip(trace.jobs, loaded.jobs):
+            assert b.buffer_cache_mb == pytest.approx(a.buffer_cache_mb,
+                                                      abs=1e-3)

@@ -1,0 +1,40 @@
+"""Tests for the ``python -m repro.experiments`` CLI."""
+
+import pytest
+
+from repro.experiments.__main__ import TARGETS, main
+
+
+class TestCli:
+    def test_tables_run(self, capsys):
+        assert main(["table1", "table2"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out
+        assert "Table 2" in out
+        assert "apsi" in out
+
+    def test_unknown_target_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["figure9"])
+
+    def test_export_requires_single_figure(self, tmp_path):
+        with pytest.raises(SystemExit):
+            main(["table1", "--export-csv", str(tmp_path / "x.csv")])
+
+    def test_figure_quick_run_with_chart_and_export(self, tmp_path,
+                                                    capsys):
+        path = str(tmp_path / "fig.csv")
+        assert main(["figure3", "--scale", "0.06", "--chart",
+                     "--export-csv", path]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 3" in out
+        assert "|#" in out  # bar chart rendered
+        with open(path) as stream:
+            header = stream.readline()
+        assert "figure" in header and "panel" in header
+
+    def test_targets_inventory(self):
+        assert "scenario" in TARGETS
+        assert "heterogeneity" in TARGETS
+        assert "ablations" in TARGETS
+        assert {"figure1", "figure2", "figure3", "figure4"} <= set(TARGETS)

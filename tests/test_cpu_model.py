@@ -1,0 +1,126 @@
+"""Unit and property tests for the CPU sharing model."""
+
+import math
+
+from hypothesis import given, strategies as st
+
+from repro.cluster.cpu import progress_rates, waterfill
+
+
+class TestWaterfill:
+    def test_empty(self):
+        assert waterfill(1.0, []) == []
+
+    def test_single_uncapped(self):
+        assert waterfill(1.0, [5.0]) == [1.0]
+
+    def test_single_capped(self):
+        assert waterfill(1.0, [0.25]) == [0.25]
+
+    def test_equal_split(self):
+        alloc = waterfill(1.0, [1.0, 1.0, 1.0, 1.0])
+        assert all(math.isclose(a, 0.25) for a in alloc)
+
+    def test_capped_consumer_returns_excess(self):
+        # cap 0.1 < fair share 0.5; the other consumer gets the rest
+        alloc = waterfill(1.0, [0.1, 1.0])
+        assert math.isclose(alloc[0], 0.1)
+        assert math.isclose(alloc[1], 0.9)
+
+    def test_cascading_caps(self):
+        alloc = waterfill(1.0, [0.05, 0.2, 1.0, 1.0])
+        assert math.isclose(alloc[0], 0.05)
+        assert math.isclose(alloc[1], 0.2)
+        assert math.isclose(alloc[2], 0.375)
+        assert math.isclose(alloc[3], 0.375)
+
+    def test_all_caps_below_capacity(self):
+        alloc = waterfill(10.0, [0.5, 0.5])
+        assert alloc == [0.5, 0.5]
+
+    def test_zero_cap_consumer_gets_nothing(self):
+        alloc = waterfill(1.0, [0.0, 1.0])
+        assert alloc[0] == 0.0
+        assert math.isclose(alloc[1], 1.0)
+
+    @given(
+        capacity=st.floats(min_value=0.0, max_value=100.0),
+        caps=st.lists(st.floats(min_value=0.0, max_value=10.0),
+                      min_size=1, max_size=20),
+    )
+    def test_properties(self, capacity, caps):
+        alloc = waterfill(capacity, caps)
+        assert len(alloc) == len(caps)
+        # feasibility
+        for a, c in zip(alloc, caps):
+            assert -1e-9 <= a <= c + 1e-9
+        total = sum(alloc)
+        assert total <= capacity + 1e-6
+        # work conservation: either capacity exhausted or everyone capped
+        if sum(caps) >= capacity:
+            assert math.isclose(total, capacity, rel_tol=1e-6, abs_tol=1e-6)
+        else:
+            assert math.isclose(total, sum(caps), rel_tol=1e-6, abs_tol=1e-6)
+
+    @given(
+        caps=st.lists(st.floats(min_value=0.01, max_value=10.0),
+                      min_size=2, max_size=10),
+    )
+    def test_uncapped_consumers_get_equal_share(self, caps):
+        capacity = 1.0
+        alloc = waterfill(capacity, caps)
+        uncapped = [a for a, c in zip(alloc, caps) if a < c - 1e-9]
+        if len(uncapped) >= 2:
+            assert max(uncapped) - min(uncapped) < 1e-6
+
+
+class TestProgressRates:
+    def test_no_jobs(self):
+        assert progress_rates(1.0, 0.001, []) == []
+
+    def test_lone_job_without_stalls_runs_at_full_speed(self):
+        # No context-switch tax with a single job.
+        rates = progress_rates(1.0, 0.001, [0.0])
+        assert rates == [1.0]
+
+    def test_lone_stalled_job_is_capped(self):
+        # 1 second of stall per cpu second -> half speed.
+        rates = progress_rates(1.0, 0.001, [1.0])
+        assert math.isclose(rates[0], 0.5)
+
+    def test_two_jobs_pay_context_switch_tax(self):
+        tax = 0.001
+        rates = progress_rates(1.0, tax, [0.0, 0.0])
+        expected = (1.0 - tax) / 2
+        assert all(math.isclose(r, expected) for r in rates)
+
+    def test_stalled_job_yields_cpu_to_others(self):
+        # Job 0 stalls heavily; job 1 should pick up almost the full CPU.
+        rates = progress_rates(1.0, 0.0, [9.0, 0.0])
+        assert math.isclose(rates[0], 0.1)
+        assert math.isclose(rates[1], 0.9)
+
+    def test_speed_factor_scales_capacity(self):
+        rates = progress_rates(2.0, 0.0, [0.0, 0.0])
+        assert all(math.isclose(r, 1.0) for r in rates)
+
+    def test_slow_node_with_stall(self):
+        # speed 0.5: alone, 1 cpu-second of work takes 2s wall; with a
+        # 1 s/work stall it takes 3s wall -> rate 1/3.
+        rates = progress_rates(0.5, 0.0, [1.0])
+        assert math.isclose(rates[0], 1.0 / 3.0)
+
+    @given(
+        stalls=st.lists(st.floats(min_value=0.0, max_value=50.0),
+                        min_size=1, max_size=15),
+        speed=st.floats(min_value=0.1, max_value=4.0),
+    )
+    def test_rates_are_feasible_and_positive(self, stalls, speed):
+        tax = 0.001
+        rates = progress_rates(speed, tax, stalls)
+        effective_tax = tax if len(stalls) > 1 else 0.0
+        assert sum(rates) <= speed * (1 - effective_tax) + 1e-6
+        for rate, stall in zip(rates, stalls):
+            assert rate > 0  # nobody starves under round-robin
+            # per-job wall budget: cpu share + stall time <= 1s per 1s
+            assert rate * (1.0 / speed + stall) <= 1.0 + 1e-6

@@ -1,0 +1,139 @@
+"""Edge cases and adversarial conditions across the stack."""
+
+import pytest
+
+from repro.cluster import Cluster, ClusterConfig, Job, MemoryProfile
+from repro.cluster.config import WorkstationSpec
+from repro.core import VReconfiguration
+from repro.scheduling import GLoadSharing
+
+from helpers import drive, job, tiny_cluster
+
+
+class TestOversizedJobs:
+    def test_job_larger_than_any_node_still_finishes(self):
+        """§2.3: 'this job may not be suitable in this cluster' — it
+        thrashes hard but must not hang the simulation."""
+        cluster = tiny_cluster(num_nodes=2, memory_mb=100.0)
+        policy = GLoadSharing(cluster)
+        monster = job(work=20.0, demand=400.0)
+        drive(policy, [monster])
+        cluster.sim.run()
+        assert monster.finished
+        assert monster.acct.page_s > 0
+        assert monster.slowdown() > 2.0
+
+    def test_vreconf_gives_oversized_job_dedicated_service(self):
+        """§2.3: 'the virtual reconfiguration method will provide a
+        reserved workstation for dedicated service, where its page
+        faults will not affect performance of other jobs'."""
+        cluster = tiny_cluster(num_nodes=3, memory_mb=100.0,
+                               cpu_threshold=2,
+                               network_bandwidth_mbps=1000.0)
+        policy = VReconfiguration(cluster, blocking_persistence=1,
+                                  reservation_backoff_s=0.0,
+                                  migration_cooldown_s=0.0,
+                                  min_remaining_for_migration_s=1.0)
+        monster = job(work=300.0, demand=150.0)
+        bystander = job(work=300.0, demand=40.0)
+        cluster.nodes[0].add_job(monster)
+        cluster.nodes[0].add_job(bystander)
+        for node_id in (1, 2):
+            for _ in range(2):
+                cluster.nodes[node_id].add_job(job(work=120.0,
+                                                   demand=10.0))
+        cluster.sim.run()
+        assert monster.finished and bystander.finished
+        # the monster was given a reserved workstation
+        if policy.stats.extra.get("reconfiguration_migrations", 0):
+            assert monster.migrations >= 1
+
+
+class TestDegenerateConfigs:
+    def test_single_node_cluster(self):
+        cluster = tiny_cluster(num_nodes=1)
+        policy = GLoadSharing(cluster)
+        jobs = [job(work=10.0, home=0) for _ in range(6)]
+        drive(policy, jobs)
+        cluster.sim.run()
+        assert all(j.finished for j in jobs)
+
+    def test_single_slot_nodes(self):
+        cluster = tiny_cluster(num_nodes=2, cpu_threshold=1)
+        policy = GLoadSharing(cluster)
+        jobs = [job(work=10.0, home=i % 2) for i in range(5)]
+        drive(policy, jobs)
+        cluster.sim.run()
+        assert all(j.finished for j in jobs)
+
+    def test_vreconf_on_two_node_cluster(self):
+        """max_reserved clamps to n-1; nothing deadlocks."""
+        cluster = tiny_cluster(num_nodes=2, memory_mb=100.0)
+        policy = VReconfiguration(cluster, max_reserved=8)
+        assert policy.reservations.max_reserved == 1
+        jobs = [job(work=20.0, demand=60.0, home=i % 2)
+                for i in range(4)]
+        drive(policy, jobs)
+        cluster.sim.run()
+        assert all(j.finished for j in jobs)
+
+    def test_network_contention_mode(self):
+        config = ClusterConfig(
+            num_nodes=2,
+            spec=WorkstationSpec(memory_mb=100.0, swap_mb=100.0),
+            kernel_reserved_mb=0.0,
+            network_contention=True,
+            load_exchange_interval_s=0.0,
+        )
+        cluster = Cluster(config)
+        policy = GLoadSharing(cluster, migration_cooldown_s=0.0,
+                              min_remaining_for_migration_s=1.0)
+        hog = job(work=300.0, demand=90.0)
+        small = job(work=300.0, demand=60.0)
+        cluster.nodes[0].add_job(hog)
+        cluster.nodes[0].add_job(small)
+        cluster.sim.run()
+        assert hog.finished and small.finished
+
+    def test_zero_speed_rejected(self):
+        with pytest.raises(ValueError):
+            WorkstationSpec(speed_factor=0.0)
+
+    def test_monitor_effectively_disabled(self):
+        cluster = tiny_cluster(monitor_interval_s=1e9)
+        policy = GLoadSharing(cluster)
+        jobs = [job(work=5.0, home=i % 4) for i in range(4)]
+        drive(policy, jobs)
+        cluster.sim.run()
+        assert all(j.finished for j in jobs)
+        assert policy.stats.migrations == 0
+
+
+class TestBurstSubmissions:
+    def test_simultaneous_burst_all_placed(self):
+        """100 jobs at the same instant: committed-slot tracking must
+        prevent over-commitment and everything must drain."""
+        cluster = tiny_cluster(num_nodes=4, cpu_threshold=3)
+        policy = GLoadSharing(cluster)
+        jobs = [job(work=5.0, demand=5.0, home=i % 4, submit=1.0)
+                for i in range(100)]
+        drive(policy, jobs)
+        cluster.sim.run(until=1.5)
+        for node in cluster.nodes:
+            assert node.committed_jobs <= cluster.config.cpu_threshold
+        cluster.sim.run()
+        assert all(j.finished for j in jobs)
+
+    def test_growing_jobs_under_burst(self):
+        cluster = tiny_cluster(num_nodes=4, memory_mb=100.0)
+        policy = VReconfiguration(cluster)
+        jobs = []
+        for i in range(12):
+            grower = Job(program="g", cpu_work_s=30.0,
+                         memory=MemoryProfile.from_pairs(
+                             [(0.0, 10.0), (10.0, 60.0)]),
+                         submit_time=1.0 + 0.1 * i, home_node=i % 4)
+            jobs.append(grower)
+        drive(policy, jobs)
+        cluster.sim.run()
+        assert all(j.finished for j in jobs)

@@ -1,0 +1,133 @@
+"""Integration tests for the experiment harness (small scales)."""
+
+import pytest
+
+from repro.experiments.runner import (
+    POLICIES,
+    default_config,
+    run_experiment,
+    subsample_trace,
+)
+from repro.experiments.scenario import (
+    build_blocking_trace,
+    large_job_slowdowns,
+    run_blocking_scenario,
+)
+from repro.experiments.tables import (
+    render_table1,
+    render_table2,
+    table1_rows,
+    table2_rows,
+)
+from repro.workload.generator import build_trace
+from repro.workload.programs import WorkloadGroup
+
+SCALE = 0.08  # ~30-60 jobs per run: fast but end-to-end
+
+
+class TestRunner:
+    def test_policy_registry_complete(self):
+        assert set(POLICIES) == {"local", "cpu", "memory",
+                                 "g-loadsharing", "suspension",
+                                 "srpt-oracle", "v-reconfiguration"}
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(KeyError):
+            run_experiment(WorkloadGroup.APP, 1, policy="quantum")
+
+    def test_default_configs_match_paper_clusters(self):
+        spec = default_config(WorkloadGroup.SPEC)
+        app = default_config(WorkloadGroup.APP)
+        assert spec.spec.memory_mb == 384.0
+        assert app.spec.memory_mb == 128.0
+        assert spec.num_nodes == app.num_nodes == 32
+
+    def test_subsample_preserves_shape(self):
+        trace = build_trace(WorkloadGroup.APP, 1)
+        quarter = subsample_trace(trace, 0.25)
+        assert quarter.num_jobs == pytest.approx(trace.num_jobs / 4,
+                                                 abs=2)
+        assert quarter.jobs[0].submit_time == trace.jobs[0].submit_time
+        with pytest.raises(ValueError):
+            subsample_trace(trace, 0.0)
+
+    def test_run_experiment_end_to_end(self):
+        result = run_experiment(WorkloadGroup.APP, 1,
+                                policy="g-loadsharing", scale=SCALE)
+        summary = result.summary
+        assert summary.num_jobs > 10
+        assert summary.average_slowdown >= 1.0
+        assert summary.makespan_s > 0
+        assert len(result.cluster.finished_jobs) == summary.num_jobs
+
+    def test_deterministic_given_seed(self):
+        a = run_experiment(WorkloadGroup.APP, 1, policy="g-loadsharing",
+                           scale=SCALE, seed=3).summary
+        b = run_experiment(WorkloadGroup.APP, 1, policy="g-loadsharing",
+                           scale=SCALE, seed=3).summary
+        assert a.total_execution_time_s == b.total_execution_time_s
+        assert a.average_slowdown == b.average_slowdown
+
+    def test_all_policies_drain(self):
+        for policy in POLICIES:
+            summary = run_experiment(WorkloadGroup.APP, 1, policy=policy,
+                                     scale=SCALE).summary
+            assert summary.num_jobs > 0, policy
+
+    def test_wall_time_decomposition_cluster_wide(self):
+        """The §5 identity T_exe = T_cpu+T_page+T_io+T_que+T_mig holds
+        for a full experiment."""
+        summary = run_experiment(WorkloadGroup.APP, 1,
+                                 policy="v-reconfiguration",
+                                 scale=SCALE).summary
+        parts = (summary.total_cpu_time_s + summary.total_paging_time_s
+                 + summary.total_io_time_s + summary.total_queuing_time_s
+                 + summary.total_migration_time_s)
+        assert parts == pytest.approx(summary.total_execution_time_s,
+                                      rel=1e-6)
+
+
+class TestTables:
+    def test_table1_rows(self):
+        rows = table1_rows()
+        assert len(rows) == 6
+        apsi = next(r for r in rows if r["Programs"] == "apsi")
+        assert apsi["lifetime (s)"] == "2,619.0"
+
+    def test_table2_rows(self):
+        rows = table2_rows()
+        assert len(rows) == 7
+        metis = next(r for r in rows if r["Programs"] == "metis")
+        assert "1M-4M" in metis["data size"]
+
+    def test_render(self):
+        assert "apsi" in render_table1()
+        assert "r-wing" in render_table2()
+
+
+class TestBlockingScenario:
+    def test_trace_geometry(self):
+        trace = build_blocking_trace(num_nodes=32, seed=0)
+        larges = [j for j in trace.jobs if j.peak_demand_mb > 200]
+        assert len(larges) == 4
+        # wedge homes are distinct and at the high end
+        assert len({j.home_node for j in larges}) == 4
+        assert all(j.home_node >= 28 for j in larges)
+
+    def test_mechanism_envelope(self):
+        """The headline property: V-Reconfiguration resolves the
+        constructed blocking problem (rescues fire, paging collapses,
+        large jobs speed up) where G-Loadsharing cannot."""
+        base = run_blocking_scenario("g-loadsharing", num_nodes=32)
+        reco = run_blocking_scenario("v-reconfiguration", num_nodes=32)
+        assert base.summary.blocking_events > 0
+        assert reco.summary.extra.get("reconfiguration_migrations",
+                                      0) >= 1
+        assert (reco.summary.total_paging_time_s
+                < 0.25 * base.summary.total_paging_time_s)
+        big_base = large_job_slowdowns(base)
+        big_reco = large_job_slowdowns(reco)
+        assert (sum(big_reco) / len(big_reco)
+                < sum(big_base) / len(big_base))
+        # adaptive switch-back: nothing stays reserved
+        assert reco.cluster.reserved_nodes() == []

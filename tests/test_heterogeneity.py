@@ -1,0 +1,71 @@
+"""Unit tests for the heterogeneous-cluster experiments (paper §2.3/§6)."""
+
+import pytest
+
+from repro.experiments.heterogeneity import (
+    heterogeneous_config,
+    run_heterogeneity_experiment,
+)
+from repro.workload.programs import WorkloadGroup
+
+
+class TestHeterogeneousConfig:
+    def test_capacity_neutrality(self):
+        config = heterogeneous_config(WorkloadGroup.APP,
+                                      big_fraction=0.25,
+                                      memory_ratio=2.0,
+                                      speed_ratio=1.5)
+        from repro.experiments.runner import default_config
+        base = default_config(WorkloadGroup.APP)
+        total_mem = sum(config.spec_for(i).memory_mb
+                        for i in range(config.num_nodes))
+        total_speed = sum(config.spec_for(i).speed_factor
+                          for i in range(config.num_nodes))
+        assert total_mem == pytest.approx(
+            base.spec.memory_mb * base.num_nodes, rel=1e-6)
+        assert total_speed == pytest.approx(
+            base.spec.speed_factor * base.num_nodes, rel=1e-6)
+
+    def test_big_nodes_are_bigger(self):
+        config = heterogeneous_config(WorkloadGroup.SPEC)
+        big_ids = sorted(config.node_overrides)
+        assert big_ids  # some overrides exist
+        small = config.spec_for(0)
+        big = config.spec_for(big_ids[0])
+        assert big.memory_mb > small.memory_mb
+        assert big.speed_factor > small.speed_factor
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            heterogeneous_config(WorkloadGroup.APP, big_fraction=0.0)
+        with pytest.raises(ValueError):
+            heterogeneous_config(WorkloadGroup.APP, big_fraction=0.5,
+                                 memory_ratio=2.0)  # small nodes <= 0
+
+
+class TestHeterogeneityExperiment:
+    def test_report_structure(self):
+        report = run_heterogeneity_experiment(
+            group=WorkloadGroup.APP, trace_index=1, scale=0.08)
+        assert len(report.rows) == 4  # 2 clusters x 2 policies
+        labels = {row["cluster"] for row in report.rows}
+        assert labels == {"homogeneous", "heterogeneous"}
+        text = report.render()
+        assert "Heterogeneity" in text
+
+    def test_all_variants_drain(self):
+        report = run_heterogeneity_experiment(
+            group=WorkloadGroup.APP, trace_index=1, scale=0.08)
+        for row in report.rows:
+            assert row["exec (s)"] > 0
+            # jobs on the 1.5x-speed nodes can beat their reference
+            # lifetime, so heterogeneous slowdowns may dip below 1
+            assert row["slowdown"] > 0.5
+            if row["cluster"] == "homogeneous":
+                assert row["slowdown"] >= 1.0
+
+    def test_reservation_preference_field(self):
+        report = run_heterogeneity_experiment(
+            group=WorkloadGroup.APP, trace_index=1, scale=0.08)
+        # either no reservations (None) or a boolean verdict
+        assert report.reservations_prefer_big_nodes in (None, True, False)

@@ -1,0 +1,128 @@
+"""Property-based end-to-end invariants of the whole stack.
+
+Random small workloads are replayed under every policy; the invariants
+below must hold regardless of workload shape:
+
+* conservation — every submitted job finishes exactly once;
+* the §5 wall-clock identity per job;
+* memory sanity — no negative idle memory reading;
+* reservations — never the whole cluster, always released by drain;
+* determinism — identical runs produce identical results.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.cluster import Cluster, ClusterConfig, Job, MemoryProfile
+from repro.cluster.config import WorkstationSpec
+from repro.core import VReconfiguration
+from repro.scheduling import GLoadSharing, LocalPolicy, SuspensionPolicy
+
+POLICIES = (LocalPolicy, GLoadSharing, SuspensionPolicy,
+            VReconfiguration)
+
+job_strategy = st.fixed_dictionaries({
+    "work": st.floats(min_value=1.0, max_value=200.0),
+    "demand": st.floats(min_value=1.0, max_value=150.0),
+    "grow_to": st.floats(min_value=0.0, max_value=100.0),
+    "home": st.integers(min_value=0, max_value=3),
+    "submit": st.floats(min_value=0.0, max_value=100.0),
+    "io": st.floats(min_value=0.0, max_value=0.5),
+})
+
+workload_strategy = st.lists(job_strategy, min_size=1, max_size=14)
+
+
+def build_jobs(specs):
+    jobs = []
+    for spec in specs:
+        demand = spec["demand"]
+        peak = demand + spec["grow_to"]
+        if spec["grow_to"] > 0 and spec["work"] > 2.0:
+            profile = MemoryProfile.from_pairs(
+                [(0.0, demand), (spec["work"] / 3.0, peak)])
+        else:
+            profile = MemoryProfile.constant(demand)
+        jobs.append(Job(program="prop", cpu_work_s=spec["work"],
+                        memory=profile, submit_time=spec["submit"],
+                        home_node=spec["home"],
+                        io_stall_per_cpu_s=spec["io"]))
+    return jobs
+
+
+def run_workload(policy_class, specs):
+    config = ClusterConfig(
+        num_nodes=4,
+        spec=WorkstationSpec(memory_mb=128.0, swap_mb=128.0),
+        cpu_threshold=3,
+        monitor_interval_s=0.5,
+    )
+    cluster = Cluster(config)
+    policy = policy_class(cluster)
+    jobs = build_jobs(specs)
+    for job in jobs:
+        cluster.sim.schedule_at(job.submit_time,
+                                lambda job=job: policy.submit(job))
+    cluster.sim.run()
+    return cluster, policy, jobs
+
+
+@pytest.mark.parametrize("policy_class", POLICIES,
+                         ids=lambda c: c.name)
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(specs=workload_strategy)
+def test_conservation_and_identity(policy_class, specs):
+    cluster, policy, jobs = run_workload(policy_class, specs)
+    # every job finished exactly once
+    assert len(cluster.finished_jobs) == len(jobs)
+    assert {j.job_id for j in cluster.finished_jobs} == \
+        {j.job_id for j in jobs}
+    for job in jobs:
+        assert job.finished
+        wall = job.finish_time - job.submit_time
+        acct = (job.acct.cpu_s + job.acct.page_s + job.acct.io_s
+                + job.acct.queue_s + job.acct.migration_s)
+        assert acct == pytest.approx(wall, rel=1e-6, abs=1e-6)
+        # CPU time equals the job's work (homogeneous speed 1)
+        assert job.acct.cpu_s == pytest.approx(job.cpu_work_s,
+                                               rel=1e-6)
+        assert job.slowdown() >= 1.0 - 1e-9
+    # nothing still reserved or pending
+    assert cluster.reserved_nodes() == []
+    assert policy.pending_jobs == []
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(specs=workload_strategy)
+def test_idle_memory_never_negative(specs):
+    cluster, policy, jobs = run_workload(GLoadSharing, specs)
+    for node in cluster.nodes:
+        assert node.idle_memory_mb >= 0.0
+
+
+@settings(max_examples=6, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(specs=workload_strategy)
+def test_determinism(specs):
+    _, _, jobs_a = run_workload(VReconfiguration, specs)
+    _, _, jobs_b = run_workload(VReconfiguration, specs)
+    finishes_a = sorted(j.finish_time for j in jobs_a)
+    finishes_b = sorted(j.finish_time for j in jobs_b)
+    assert finishes_a == finishes_b
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(specs=workload_strategy)
+def test_reservations_bounded_and_closed(specs):
+    cluster, policy, _ = run_workload(VReconfiguration, specs)
+    manager = policy.reservations
+    # never allowed to reserve the whole cluster
+    assert manager.max_reserved < cluster.num_nodes
+    # every reservation in history reached a terminal state
+    for reservation in manager.history:
+        assert reservation.state.value in ("released", "cancelled")
+        assert not reservation.node.reserved or \
+            manager.reservation_for_node(reservation.node.node_id)

@@ -1,0 +1,83 @@
+"""Unit tests for the lifetime analysis (paper's [5] foundation)."""
+
+import random
+
+import pytest
+
+from repro.analysis.lifetimes import (
+    analyze_lifetimes,
+    doubling_survival,
+    expected_remaining_life,
+    survival_fraction,
+)
+
+
+class TestSurvival:
+    def test_survival_fraction(self):
+        sample = [1.0, 2.0, 3.0, 4.0]
+        assert survival_fraction(sample, 0.0) == 1.0
+        assert survival_fraction(sample, 2.5) == 0.5
+        assert survival_fraction(sample, 10.0) == 0.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            survival_fraction([], 1.0)
+        with pytest.raises(ValueError):
+            analyze_lifetimes([])
+
+
+class TestDoublingSurvival:
+    def test_pareto_sample_is_heavy_tailed(self):
+        """A Pareto(1) sample has P(L>2t|L>t) = 0.5 — the [5] law."""
+        rng = random.Random(1)
+        sample = [1.0 / max(1e-6, rng.random()) for _ in range(5000)]
+        value = doubling_survival(sample)
+        assert value == pytest.approx(0.5, abs=0.1)
+
+    def test_deterministic_sample_is_light_tailed(self):
+        sample = [10.0] * 1000
+        assert doubling_survival(sample) < 0.1
+
+    def test_exponential_between(self):
+        rng = random.Random(2)
+        sample = [rng.expovariate(1.0) for _ in range(5000)]
+        value = doubling_survival(sample)
+        assert 0.0 < value < 0.5
+
+    def test_stats_flags(self):
+        rng = random.Random(3)
+        pareto = [1.0 / max(1e-6, rng.random()) for _ in range(3000)]
+        assert analyze_lifetimes(pareto).heavy_tailed
+        assert not analyze_lifetimes([5.0] * 100).heavy_tailed
+
+
+class TestExpectedRemainingLife:
+    def test_c_half_predicts_age(self):
+        """[5]: a job of age t is expected to run ~t more."""
+        assert expected_remaining_life(100.0, 0.5) == pytest.approx(100.0)
+
+    def test_light_tail_predicts_less(self):
+        # c = 0.25 -> a = 2 -> remaining = t
+        assert expected_remaining_life(100.0, 0.25) == pytest.approx(100.0)
+        # c = 0.125 -> a = 3 -> remaining = t/2
+        assert expected_remaining_life(100.0, 0.125) == pytest.approx(50.0)
+
+    def test_monotone_in_age(self):
+        values = [expected_remaining_life(t, 0.4) for t in (1, 10, 100)]
+        assert values == sorted(values)
+
+    def test_negative_age_rejected(self):
+        with pytest.raises(ValueError):
+            expected_remaining_life(-1.0)
+
+
+class TestOnWorkloads:
+    def test_generated_traces_are_lifetime_diverse(self):
+        """Our reconstructed workloads span two orders of magnitude in
+        lifetime, like the paper's tables."""
+        from repro.workload.generator import build_trace
+        from repro.workload.programs import WorkloadGroup
+        trace = build_trace(WorkloadGroup.SPEC, 3)
+        stats = analyze_lifetimes([j.lifetime_s for j in trace.jobs])
+        assert stats.p90_s < 2619.0
+        assert stats.mean_s > stats.median_s  # right-skewed

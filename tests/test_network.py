@@ -1,0 +1,82 @@
+"""Unit tests for the network model."""
+
+import pytest
+
+from repro.cluster.network import BITS_PER_MB, Network
+from repro.sim import Simulator
+
+
+def test_transfer_time_matches_bandwidth():
+    net = Network(Simulator(), bandwidth_mbps=10.0)
+    # 100 MB at 10 Mbps
+    expected = 100.0 * BITS_PER_MB / 10e6
+    assert net.transfer_time_s(100.0) == pytest.approx(expected)
+
+
+def test_migration_cost_is_r_plus_d_over_b():
+    """The paper's §3.3.1 cost model: r + D/B with r=0.1s, B=10Mbps."""
+    net = Network(Simulator(), bandwidth_mbps=10.0,
+                  remote_submission_cost_s=0.1)
+    assert net.migration_cost_s(0.0) == pytest.approx(0.1)
+    # 190 MB working set (mcf-sized image)
+    expected = 0.1 + 190.0 * BITS_PER_MB / 10e6
+    assert net.migration_cost_s(190.0) == pytest.approx(expected)
+
+
+def test_remote_submission_fires_after_r():
+    sim = Simulator()
+    net = Network(sim, remote_submission_cost_s=0.1)
+    fired = []
+    delay = net.submit_remote(lambda: fired.append(sim.now))
+    assert delay == pytest.approx(0.1)
+    sim.run()
+    assert fired == [pytest.approx(0.1)]
+
+
+def test_additive_migrations_do_not_interact():
+    sim = Simulator()
+    net = Network(sim, bandwidth_mbps=10.0, contention=False)
+    done = []
+    d1 = net.migrate(10.0, lambda: done.append(("a", sim.now)))
+    d2 = net.migrate(10.0, lambda: done.append(("b", sim.now)))
+    assert d1 == pytest.approx(d2)
+    sim.run()
+    assert done[0][1] == pytest.approx(done[1][1])
+
+
+def test_contending_migrations_serialize():
+    sim = Simulator()
+    net = Network(sim, bandwidth_mbps=10.0, contention=True)
+    done = []
+    wire = net.transfer_time_s(10.0)
+    net.migrate(10.0, lambda: done.append(sim.now))
+    net.migrate(10.0, lambda: done.append(sim.now))
+    sim.run()
+    assert done[0] == pytest.approx(0.1 + wire)
+    assert done[1] == pytest.approx(0.1 + 2 * wire)
+
+
+def test_faster_network_reduces_migration_cost():
+    slow = Network(Simulator(), bandwidth_mbps=10.0)
+    fast = Network(Simulator(), bandwidth_mbps=100.0)
+    assert fast.migration_cost_s(50.0) < slow.migration_cost_s(50.0)
+
+
+def test_transfer_statistics():
+    sim = Simulator()
+    net = Network(sim)
+    net.migrate(10.0, lambda: None)
+    net.migrate(5.0, lambda: None)
+    sim.run()
+    assert net.transfers == 2
+    assert net.bytes_transferred == pytest.approx(15.0 * 1024 * 1024)
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        Network(Simulator(), bandwidth_mbps=0.0)
+    with pytest.raises(ValueError):
+        Network(Simulator(), remote_submission_cost_s=-1.0)
+    net = Network(Simulator())
+    with pytest.raises(ValueError):
+        net.transfer_time_s(-1.0)

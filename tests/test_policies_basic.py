@@ -1,0 +1,186 @@
+"""Unit tests for the baseline load-sharing policies."""
+
+import pytest
+
+from repro.cluster.job import JobState
+from repro.scheduling import (
+    CpuBasedPolicy,
+    GLoadSharing,
+    LocalPolicy,
+    MemoryBasedPolicy,
+)
+
+from helpers import drive, job, tiny_cluster
+
+
+class TestLocalPolicy:
+    def test_jobs_run_on_home_node(self):
+        cluster = tiny_cluster()
+        policy = LocalPolicy(cluster)
+        a = job(home=2, work=10.0)
+        drive(policy, [a])
+        cluster.sim.run(until=1.0)
+        assert a.node_id == 2
+        cluster.sim.run()
+        assert a.finished
+
+    def test_no_remote_submissions_ever(self):
+        cluster = tiny_cluster()
+        policy = LocalPolicy(cluster)
+        jobs = [job(home=0, work=5.0, demand=10.0) for _ in range(6)]
+        drive(policy, jobs)
+        cluster.sim.run()
+        assert policy.stats.remote_submissions == 0
+        assert all(j.finished for j in jobs)
+
+    def test_queues_beyond_cpu_threshold(self):
+        cluster = tiny_cluster(cpu_threshold=2)
+        policy = LocalPolicy(cluster)
+        jobs = [job(home=0, work=10.0, demand=5.0) for _ in range(3)]
+        drive(policy, jobs)
+        cluster.sim.run(until=1.0)
+        assert cluster.nodes[0].num_running == 2
+        assert len(policy.pending_jobs) == 1
+        cluster.sim.run()
+        assert all(j.finished for j in jobs)
+        # the queued job accrued pending time
+        waited = [j for j in jobs if j.acct.pending_s > 0]
+        assert len(waited) == 1
+
+
+class TestCpuBasedPolicy:
+    def test_balances_job_counts(self):
+        cluster = tiny_cluster(num_nodes=4)
+        policy = CpuBasedPolicy(cluster)
+        jobs = [job(home=0, work=50.0, demand=1.0, submit=0.1 * i)
+                for i in range(4)]
+        drive(policy, jobs)
+        cluster.sim.run(until=2.0)
+        counts = [node.num_running for node in cluster.nodes]
+        assert counts == [1, 1, 1, 1]
+
+    def test_ignores_memory_pressure(self):
+        # one node thrashing but with the fewest jobs still attracts work
+        cluster = tiny_cluster(num_nodes=2, memory_mb=100.0)
+        policy = CpuBasedPolicy(cluster)
+        hog = job(home=0, work=100.0, demand=150.0)
+        drive(policy, [hog])
+        cluster.sim.run(until=1.0)
+        newcomer = job(home=1, work=100.0, demand=10.0, submit=0.0)
+        cluster.nodes[1].add_job(job(work=100.0, demand=10.0))
+        cluster.nodes[1].add_job(job(work=100.0, demand=10.0))
+        # node 0 (1 job, thrashing) vs node 1 (2 jobs, healthy)
+        target = policy.select_node(newcomer)
+        assert target.node_id == 0
+
+
+class TestMemoryBasedPolicy:
+    def test_prefers_most_idle_memory(self):
+        cluster = tiny_cluster(num_nodes=3, memory_mb=100.0)
+        policy = MemoryBasedPolicy(cluster)
+        cluster.nodes[0].add_job(job(work=100.0, demand=80.0))
+        cluster.nodes[1].add_job(job(work=100.0, demand=40.0))
+        newcomer = job(home=0, work=10.0, demand=10.0)
+        target = policy.select_node(newcomer)
+        assert target.node_id == 2  # fully idle
+
+    def test_migrates_hog_away_from_thrashing_node(self):
+        cluster = tiny_cluster(num_nodes=2, memory_mb=100.0)
+        policy = MemoryBasedPolicy(cluster)
+        hog = job(home=0, work=200.0, demand=90.0)
+        small = job(home=0, work=200.0, demand=60.0)
+        cluster.nodes[0].add_job(hog)
+        cluster.nodes[0].add_job(small)
+        assert cluster.nodes[0].thrashing
+        cluster.sim.run(until=150.0)  # transfer takes ~75s at 10 Mbps
+        assert policy.stats.migrations >= 1
+        # the most memory-intensive job moved to the idle node
+        assert hog.node_id == 1 or small.node_id == 1
+
+
+class TestGLoadSharing:
+    def test_home_preferred_when_healthy(self):
+        cluster = tiny_cluster()
+        policy = GLoadSharing(cluster)
+        a = job(home=3, work=10.0)
+        assert policy.select_node(a).node_id == 3
+
+    def test_remote_submission_when_home_full(self):
+        cluster = tiny_cluster(num_nodes=2, cpu_threshold=1)
+        policy = GLoadSharing(cluster)
+        first = job(home=0, work=50.0)
+        second = job(home=0, work=50.0)
+        drive(policy, [first, second])
+        cluster.sim.run(until=5.0)
+        assert first.node_id == 0
+        assert second.node_id == 1
+        assert policy.stats.remote_submissions == 1
+        # remote submission cost charged to t_mig
+        assert second.acct.migration_s == pytest.approx(
+            cluster.config.remote_submission_cost_s)
+
+    def test_avoids_thrashing_home(self):
+        cluster = tiny_cluster(num_nodes=2, memory_mb=100.0)
+        policy = GLoadSharing(cluster)
+        cluster.nodes[0].add_job(job(work=500.0, demand=150.0))
+        assert cluster.nodes[0].thrashing
+        newcomer = job(home=0, work=10.0, demand=10.0)
+        target = policy.select_node(newcomer)
+        assert target.node_id == 1
+
+    def test_queues_when_nothing_qualifies(self):
+        cluster = tiny_cluster(num_nodes=2, cpu_threshold=1)
+        policy = GLoadSharing(cluster)
+        jobs = [job(home=i % 2, work=20.0) for i in range(3)]
+        drive(policy, jobs)
+        cluster.sim.run(until=1.0)
+        assert len(policy.pending_jobs) == 1
+        cluster.sim.run()
+        assert all(j.finished for j in jobs)
+
+    def test_migration_frees_thrashing_node(self):
+        cluster = tiny_cluster(num_nodes=2, memory_mb=100.0)
+        policy = GLoadSharing(cluster)
+        hog = job(home=0, work=300.0, demand=90.0)
+        small = job(home=0, work=300.0, demand=60.0)
+        cluster.nodes[0].add_job(hog)
+        cluster.nodes[0].add_job(small)
+        cluster.sim.run(until=150.0)
+        assert policy.stats.migrations >= 1
+        assert not cluster.nodes[0].thrashing
+        assert hog.migrations + small.migrations >= 1
+
+    def test_migration_cost_charged(self):
+        cluster = tiny_cluster(num_nodes=2, memory_mb=100.0)
+        policy = GLoadSharing(cluster)
+        hog = job(home=0, work=300.0, demand=90.0)
+        small = job(home=0, work=300.0, demand=60.0)
+        cluster.nodes[0].add_job(hog)
+        cluster.nodes[0].add_job(small)
+        cluster.sim.run(until=150.0)  # transfer takes ~75s at 10 Mbps
+        moved = hog if hog.migrations else small
+        assert moved.acct.migration_s > 0.1  # r plus wire time
+
+    def test_blocking_event_recorded_when_no_destination(self):
+        # Two nodes; the non-thrashing one has no free slot.
+        cluster = tiny_cluster(num_nodes=2, memory_mb=100.0,
+                               cpu_threshold=2)
+        policy = GLoadSharing(cluster)
+        cluster.nodes[0].add_job(job(work=300.0, demand=90.0))
+        cluster.nodes[0].add_job(job(work=300.0, demand=60.0))
+        cluster.nodes[1].add_job(job(work=300.0, demand=10.0))
+        cluster.nodes[1].add_job(job(work=300.0, demand=10.0))
+        cluster.sim.run(until=30.0)
+        assert policy.stats.blocking_events >= 1
+        assert policy.stats.migrations == 0
+
+
+class TestPendingFairness:
+    def test_fifo_head_not_overtaken(self):
+        cluster = tiny_cluster(num_nodes=1, cpu_threshold=1)
+        policy = GLoadSharing(cluster)
+        jobs = [job(home=0, work=10.0, submit=float(i)) for i in range(4)]
+        drive(policy, jobs)
+        cluster.sim.run()
+        finishes = [j.finish_time for j in jobs]
+        assert finishes == sorted(finishes)

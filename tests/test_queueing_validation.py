@@ -1,0 +1,72 @@
+"""Validate the simulation substrate against queueing theory.
+
+These are the strongest correctness checks in the suite: if the CPU
+model, event engine, or accounting were wrong, the measured averages
+would not land on the closed-form values.
+"""
+
+import random
+
+import pytest
+
+from repro.analysis.queueing import (
+    mm1_mean_sojourn,
+    ps_mean_slowdown,
+    run_single_node,
+)
+
+
+class TestClosedForms:
+    def test_ps_slowdown_formula(self):
+        assert ps_mean_slowdown(0.0) == 1.0
+        assert ps_mean_slowdown(0.5) == pytest.approx(2.0)
+        assert ps_mean_slowdown(0.9) == pytest.approx(10.0)
+        with pytest.raises(ValueError):
+            ps_mean_slowdown(1.0)
+
+    def test_mm1_formula(self):
+        assert mm1_mean_sojourn(0.5, 1.0) == pytest.approx(2.0)
+        with pytest.raises(ValueError):
+            mm1_mean_sojourn(1.0, 1.0)
+
+
+class TestSubstrateMatchesTheory:
+    @pytest.mark.parametrize("rho", [0.3, 0.5, 0.7])
+    def test_mg1_ps_mean_slowdown(self, rho):
+        """M/G/1-PS: mean slowdown = 1/(1-rho), here with exponential
+        service (statistical tolerance for 2k jobs)."""
+        result = run_single_node(arrival_rate=rho, mean_service_s=1.0,
+                                 num_jobs=2500, seed=11)
+        assert result.mean_slowdown == pytest.approx(
+            ps_mean_slowdown(rho), rel=0.15)
+
+    def test_ps_insensitivity_to_service_distribution(self):
+        """PS slowdown depends only on rho, not the service
+        distribution — check with deterministic service times."""
+        rho = 0.6
+        det = run_single_node(
+            arrival_rate=rho, mean_service_s=1.0, num_jobs=2500,
+            seed=5, service_sampler=lambda r: 1.0)
+        assert det.mean_slowdown == pytest.approx(
+            ps_mean_slowdown(rho), rel=0.15)
+
+    def test_mm1_fcfs_mean_sojourn(self):
+        """CPU threshold 1 turns the node into an M/M/1 FCFS queue."""
+        lam, mu = 0.5, 1.0
+        result = run_single_node(arrival_rate=lam, mean_service_s=1.0,
+                                 num_jobs=3000, seed=3,
+                                 cpu_threshold=1)
+        assert result.mean_sojourn_s == pytest.approx(
+            mm1_mean_sojourn(lam, mu), rel=0.15)
+
+    def test_utilization_law(self):
+        """Measured CPU utilization matches offered load."""
+        rho = 0.6
+        result = run_single_node(arrival_rate=rho, mean_service_s=1.0,
+                                 num_jobs=2500, seed=7)
+        assert result.utilization == pytest.approx(rho, rel=0.1)
+
+    def test_light_load_slowdown_near_one(self):
+        result = run_single_node(arrival_rate=0.05, mean_service_s=1.0,
+                                 num_jobs=800, seed=2)
+        assert result.mean_slowdown == pytest.approx(1.05, abs=0.05)

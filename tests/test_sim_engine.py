@@ -1,0 +1,220 @@
+"""Unit tests for the discrete-event simulation kernel."""
+
+import pytest
+
+from repro.sim import Simulator, SimulationError
+from repro.sim.engine import EventHandle
+
+
+def test_events_fire_in_time_order():
+    sim = Simulator()
+    fired = []
+    sim.schedule(3.0, lambda: fired.append("c"))
+    sim.schedule(1.0, lambda: fired.append("a"))
+    sim.schedule(2.0, lambda: fired.append("b"))
+    sim.run()
+    assert fired == ["a", "b", "c"]
+    assert sim.now == 3.0
+
+
+def test_same_time_events_fire_in_scheduling_order():
+    sim = Simulator()
+    fired = []
+    for tag in "abcde":
+        sim.schedule(1.0, lambda t=tag: fired.append(t))
+    sim.run()
+    assert fired == list("abcde")
+
+
+def test_priority_breaks_ties_before_sequence():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append("low"), priority=5)
+    sim.schedule(1.0, lambda: fired.append("high"), priority=0)
+    sim.run()
+    assert fired == ["high", "low"]
+
+
+def test_cancelled_event_does_not_fire():
+    sim = Simulator()
+    fired = []
+    handle = sim.schedule(1.0, lambda: fired.append("x"))
+    sim.schedule(2.0, lambda: fired.append("y"))
+    handle.cancel()
+    sim.run()
+    assert fired == ["y"]
+    assert not handle.pending
+
+
+def test_cancel_is_idempotent():
+    sim = Simulator()
+    handle = sim.schedule(1.0, lambda: None)
+    handle.cancel()
+    handle.cancel()
+    sim.run()
+    assert sim.event_count == 0
+
+
+def test_negative_delay_rejected():
+    sim = Simulator()
+    with pytest.raises(SimulationError):
+        sim.schedule(-0.5, lambda: None)
+
+
+def test_schedule_in_the_past_rejected():
+    sim = Simulator(start_time=10.0)
+    with pytest.raises(SimulationError):
+        sim.schedule_at(5.0, lambda: None)
+
+
+def test_events_scheduled_during_events():
+    sim = Simulator()
+    fired = []
+
+    def first():
+        fired.append(("first", sim.now))
+        sim.schedule(2.0, lambda: fired.append(("nested", sim.now)))
+
+    sim.schedule(1.0, first)
+    sim.run()
+    assert fired == [("first", 1.0), ("nested", 3.0)]
+
+
+def test_run_until_stops_before_later_events():
+    sim = Simulator()
+    fired = []
+    sim.schedule(1.0, lambda: fired.append(1))
+    sim.schedule(5.0, lambda: fired.append(5))
+    end = sim.run(until=3.0)
+    assert fired == [1]
+    assert end == 3.0
+    assert sim.now == 3.0
+    sim.run()
+    assert fired == [1, 5]
+
+
+def test_run_until_advances_clock_even_with_no_events():
+    sim = Simulator()
+    sim.run(until=7.5)
+    assert sim.now == 7.5
+
+
+def test_run_max_events():
+    sim = Simulator()
+    fired = []
+    for i in range(10):
+        sim.schedule(float(i + 1), lambda i=i: fired.append(i))
+    sim.run(max_events=4)
+    assert fired == [0, 1, 2, 3]
+
+
+def test_step_and_peek():
+    sim = Simulator()
+    sim.schedule(2.0, lambda: None)
+    cancelled = sim.schedule(1.0, lambda: None)
+    cancelled.cancel()
+    assert sim.peek() == 2.0
+    assert sim.step() is True
+    assert sim.step() is False
+
+
+def test_pending_events_excludes_cancelled():
+    sim = Simulator()
+    h1 = sim.schedule(1.0, lambda: None)
+    sim.schedule(2.0, lambda: None)
+    h1.cancel()
+    assert sim.pending_events() == 1
+
+
+def test_event_count_tracks_executed_events():
+    sim = Simulator()
+    for i in range(5):
+        sim.schedule(float(i), lambda: None)
+    sim.run()
+    assert sim.event_count == 5
+
+
+def test_event_handle_ordering():
+    a = EventHandle(1.0, 0, 0, lambda: None)
+    b = EventHandle(1.0, 0, 1, lambda: None)
+    c = EventHandle(0.5, 9, 2, lambda: None)
+    assert a < b
+    assert c < a
+
+
+def test_reentrant_run_rejected():
+    sim = Simulator()
+
+    def body():
+        with pytest.raises(SimulationError):
+            sim.run()
+
+    sim.schedule(1.0, body)
+    sim.run()
+
+
+class TestDaemonEvents:
+    """Daemon events (periodic services) must not keep an open-ended
+    run alive, but still fire while real work remains."""
+
+    def test_open_ended_run_ignores_pure_daemon_queue(self):
+        sim = Simulator()
+        fired = []
+
+        def tick():
+            fired.append(sim.now)
+            sim.schedule(1.0, tick, daemon=True)
+
+        sim.schedule(1.0, tick, daemon=True)
+        sim.run()
+        assert fired == []  # nothing non-daemon ever existed
+        assert sim.now == 0.0
+
+    def test_daemons_fire_while_work_remains(self):
+        sim = Simulator()
+        fired = []
+
+        def tick():
+            fired.append(sim.now)
+            sim.schedule(1.0, tick, daemon=True)
+
+        sim.schedule(1.0, tick, daemon=True)
+        sim.schedule(3.5, lambda: None)  # real work until t=3.5
+        sim.run()
+        assert fired == [1.0, 2.0, 3.0]
+
+    def test_run_until_executes_daemons(self):
+        sim = Simulator()
+        fired = []
+
+        def tick():
+            fired.append(sim.now)
+            sim.schedule(1.0, tick, daemon=True)
+
+        sim.schedule(1.0, tick, daemon=True)
+        sim.run(until=2.5)
+        assert fired == [1.0, 2.0]
+
+    def test_cancelling_last_non_daemon_stops_run(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append("work"))
+        handle = sim.schedule(5.0, lambda: fired.append("late"))
+        sim.schedule(2.0, lambda: None, daemon=True)
+        handle.cancel()
+        sim.run()
+        assert fired == ["work"]
+
+    def test_daemon_scheduling_non_daemon_extends_run(self):
+        sim = Simulator()
+        fired = []
+
+        def daemon():
+            # periodic service discovers real work
+            sim.schedule(1.0, lambda: fired.append(sim.now))
+
+        sim.schedule(1.0, daemon, daemon=True)
+        sim.schedule(1.5, lambda: fired.append("anchor"))
+        sim.run()
+        assert "anchor" in fired
+        assert 2.0 in fired

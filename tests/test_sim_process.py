@@ -1,0 +1,155 @@
+"""Unit tests for generator-based processes."""
+
+import pytest
+
+from repro.sim import Process, Simulator, SimulationError
+from repro.sim.process import Interrupt
+
+
+def test_process_sleeps():
+    sim = Simulator()
+    times = []
+
+    def body():
+        times.append(sim.now)
+        yield 1.5
+        times.append(sim.now)
+        yield 2.5
+        times.append(sim.now)
+
+    Process(sim, body())
+    sim.run()
+    assert times == [0.0, 1.5, 4.0]
+
+
+def test_process_joins_other_process():
+    sim = Simulator()
+    order = []
+
+    def worker():
+        yield 5.0
+        order.append(("worker-done", sim.now))
+
+    def waiter(target):
+        yield target
+        order.append(("waiter-woke", sim.now))
+
+    w = Process(sim, worker(), name="worker")
+    Process(sim, waiter(w), name="waiter")
+    sim.run()
+    assert order == [("worker-done", 5.0), ("waiter-woke", 5.0)]
+
+
+def test_joining_finished_process_resumes_immediately():
+    sim = Simulator()
+    woke = []
+
+    def quick():
+        yield 0.0
+
+    def late_waiter(target):
+        yield 3.0
+        yield target
+        woke.append(sim.now)
+
+    q = Process(sim, quick())
+    Process(sim, late_waiter(q))
+    sim.run()
+    assert woke == [3.0]
+
+
+def test_interrupt_cancels_sleep():
+    sim = Simulator()
+    seen = []
+
+    def sleeper():
+        try:
+            yield 100.0
+        except Interrupt as exc:
+            seen.append((sim.now, exc.cause))
+
+    proc = Process(sim, sleeper())
+    sim.schedule(2.0, lambda: proc.interrupt("stop"))
+    sim.run()
+    assert seen == [(2.0, "stop")]
+    assert proc.finished
+
+
+def test_uncaught_interrupt_terminates_process():
+    sim = Simulator()
+
+    def sleeper():
+        yield 100.0
+
+    proc = Process(sim, sleeper())
+    sim.schedule(1.0, lambda: proc.interrupt())
+    sim.run()
+    assert proc.finished
+    assert sim.now == 1.0
+
+
+def test_interrupt_after_finish_is_noop():
+    sim = Simulator()
+
+    def quick():
+        yield 0.0
+
+    proc = Process(sim, quick())
+    sim.run()
+    assert proc.finished
+    proc.interrupt()
+    sim.run()
+
+
+def test_invalid_yield_raises():
+    sim = Simulator()
+
+    def bad():
+        yield "nonsense"
+
+    Process(sim, bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_negative_sleep_raises():
+    sim = Simulator()
+
+    def bad():
+        yield -1.0
+
+    Process(sim, bad())
+    with pytest.raises(SimulationError):
+        sim.run()
+
+
+def test_multiple_waiters_all_wake():
+    sim = Simulator()
+    woke = []
+
+    def worker():
+        yield 2.0
+
+    def waiter(target, tag):
+        yield target
+        woke.append(tag)
+
+    w = Process(sim, worker())
+    for tag in ("a", "b", "c"):
+        Process(sim, waiter(w, tag))
+    sim.run()
+    assert sorted(woke) == ["a", "b", "c"]
+
+
+def test_periodic_sampler_pattern():
+    sim = Simulator()
+    samples = []
+
+    def sampler(interval, count):
+        for _ in range(count):
+            samples.append(sim.now)
+            yield interval
+
+    Process(sim, sampler(1.0, 5))
+    sim.run()
+    assert samples == [0.0, 1.0, 2.0, 3.0, 4.0]

@@ -1,0 +1,54 @@
+"""Unit tests for the SRPT oracle reference policy."""
+
+import pytest
+
+from repro.scheduling import GLoadSharing, SrptOracle
+
+from helpers import drive, job, tiny_cluster
+
+
+def run_queueing_workload(policy_class):
+    """One node, one slot: four jobs with very different lengths all
+    pending behind the first — the classic SRPT separation case."""
+    cluster = tiny_cluster(num_nodes=1, cpu_threshold=1)
+    policy = policy_class(cluster)
+    lengths = [100.0, 5.0, 50.0, 10.0]
+    jobs = [job(work=w, home=0, submit=0.1 * i)
+            for i, w in enumerate(lengths)]
+    drive(policy, jobs)
+    cluster.sim.run()
+    return jobs
+
+
+def mean_slowdown(jobs):
+    return sum(j.slowdown() for j in jobs) / len(jobs)
+
+
+class TestSrptOracle:
+    def test_short_jobs_overtake_long_pending_jobs(self):
+        jobs = run_queueing_workload(SrptOracle)
+        by_work = sorted(jobs[1:], key=lambda j: j.cpu_work_s)
+        finishes = [j.finish_time for j in by_work]
+        # among the pending jobs, shorter work finishes earlier
+        assert finishes == sorted(finishes)
+
+    def test_beats_fifo_on_mean_slowdown(self):
+        """Schrage's optimality ([8]): SRPT minimizes mean response
+        time, so the oracle cannot lose to the FIFO pending queue."""
+        fifo = mean_slowdown(run_queueing_workload(GLoadSharing))
+        srpt = mean_slowdown(run_queueing_workload(SrptOracle))
+        assert srpt <= fifo + 1e-9
+        assert srpt < fifo  # strictly better on this workload
+
+    def test_fifo_order_differs(self):
+        fifo_jobs = run_queueing_workload(GLoadSharing)
+        srpt_jobs = run_queueing_workload(SrptOracle)
+        fifo_order = sorted(range(4),
+                            key=lambda i: fifo_jobs[i].finish_time)
+        srpt_order = sorted(range(4),
+                            key=lambda i: srpt_jobs[i].finish_time)
+        assert fifo_order != srpt_order
+
+    def test_all_jobs_finish(self):
+        jobs = run_queueing_workload(SrptOracle)
+        assert all(j.finished for j in jobs)

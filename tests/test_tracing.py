@@ -1,0 +1,102 @@
+"""Unit tests for the execution tracer (paper §3.1 analog)."""
+
+import pytest
+
+from repro.scheduling import GLoadSharing
+from repro.tracing import ExecutionTracer, lifetime_breakdown_table
+
+from helpers import drive, job, tiny_cluster
+
+
+def traced_run(jobs=None, **cluster_kwargs):
+    cluster = tiny_cluster(**cluster_kwargs)
+    policy = GLoadSharing(cluster)
+    tracer = ExecutionTracer(cluster)
+    tracer.watch_policy(policy)
+    if jobs is None:
+        jobs = [job(work=20.0, home=i % 4, submit=float(i))
+                for i in range(5)]
+    drive(policy, jobs)
+    cluster.sim.run()
+    return tracer, jobs, policy
+
+
+class TestEventCapture:
+    def test_submissions_recorded(self):
+        tracer, jobs, _ = traced_run()
+        submits = tracer.events_of_kind("submit")
+        assert len(submits) == len(jobs)
+        assert {event.job_id for event in submits} == \
+            {j.job_id for j in jobs}
+
+    def test_starts_and_finishes_recorded(self):
+        tracer, jobs, _ = traced_run()
+        assert len(tracer.events_of_kind("start")) == len(jobs)
+        assert len(tracer.events_of_kind("finish")) == len(jobs)
+        assert len(tracer.finished_jobs()) == len(jobs)
+
+    def test_events_are_time_ordered(self):
+        tracer, _, _ = traced_run()
+        times = [event.time for event in tracer.events]
+        assert times == sorted(times)
+
+    def test_job_timeline_filters_by_job(self):
+        tracer, jobs, _ = traced_run()
+        timeline = tracer.job_timeline(jobs[0].job_id)
+        assert timeline
+        assert all(event.job_id == jobs[0].job_id for event in timeline)
+        kinds = [event.kind for event in timeline]
+        assert kinds[0] == "submit"
+        assert kinds[-1] == "finish"
+
+    def test_migration_recorded(self):
+        cluster = tiny_cluster(num_nodes=2, memory_mb=100.0)
+        policy = GLoadSharing(cluster, migration_cooldown_s=0.0,
+                              min_remaining_for_migration_s=1.0)
+        tracer = ExecutionTracer(cluster)
+        tracer.watch_policy(policy)
+        hog = job(work=300.0, demand=90.0)
+        small = job(work=300.0, demand=60.0)
+        cluster.nodes[0].add_job(hog)
+        cluster.nodes[0].add_job(small)
+        cluster.sim.run(until=200.0)
+        migrations = tracer.events_of_kind("migrate")
+        assert migrations
+        assert "->" in migrations[0].detail
+
+    def test_placement_delay(self):
+        tracer, jobs, _ = traced_run()
+        for record in tracer.records.values():
+            delay = record.placement_delay_s
+            assert delay is not None and delay >= 0.0
+
+    def test_nodes_visited_tracked(self):
+        tracer, jobs, _ = traced_run()
+        for record in tracer.records.values():
+            assert record.nodes_visited
+
+
+class TestRendering:
+    def test_render_timeline(self):
+        tracer, jobs, _ = traced_run()
+        text = tracer.render_timeline()
+        assert "submit" in text
+        assert "finish" in text
+
+    def test_render_timeline_filtered_and_limited(self):
+        tracer, _, _ = traced_run()
+        text = tracer.render_timeline(limit=2, kinds=["finish"])
+        assert text.count("finish") == 2
+        assert "submit" not in text
+
+    def test_lifetime_breakdown_table(self):
+        tracer, jobs, _ = traced_run()
+        table = lifetime_breakdown_table(tracer.finished_jobs())
+        assert "Per-job lifetime breakdown" in table
+        assert "slowdown" in table
+
+    def test_breakdown_top_n(self):
+        tracer, jobs, _ = traced_run()
+        table = lifetime_breakdown_table(tracer.finished_jobs(), top=2)
+        # header + separator + title + 2 rows
+        assert len(table.splitlines()) == 5

@@ -1,0 +1,67 @@
+"""Unit tests for workload characterization and the bar chart."""
+
+import pytest
+
+from repro.metrics.report import render_bar_chart
+from repro.workload.generator import build_trace
+from repro.workload.programs import WorkloadGroup
+from repro.workload.stats import characterize_demands, characterize_trace
+
+
+class TestCharacterization:
+    def test_basic_stats(self):
+        char = characterize_demands([10.0, 20.0, 30.0], 100.0)
+        assert char.num_jobs == 3
+        assert char.mean_demand_mb == pytest.approx(20.0)
+        assert char.max_demand_mb == 30.0
+        assert char.large_fraction == 0.0
+
+    def test_large_fraction(self):
+        char = characterize_demands([10.0, 60.0, 90.0], 100.0)
+        assert char.large_fraction == pytest.approx(2.0 / 3.0)
+
+    def test_equally_sized_detection(self):
+        """§5's unsuccessful condition: near-identical demands."""
+        assert characterize_demands([50.0] * 20, 100.0).equally_sized
+        assert not characterize_demands([10.0, 50.0, 190.0],
+                                        100.0).equally_sized
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            characterize_demands([], 100.0)
+        with pytest.raises(ValueError):
+            characterize_demands([1.0], 0.0)
+
+    def test_paper_traces_are_not_equally_sized(self):
+        """§5: 'the memory demands of jobs in a workload are rarely
+        equally sized' — both of our reconstructed groups satisfy the
+        paper's viability condition."""
+        for group, user_mem in ((WorkloadGroup.SPEC, 376.0),
+                                (WorkloadGroup.APP, 120.0)):
+            trace = build_trace(group, 3)
+            char = characterize_trace(trace, user_mem)
+            assert not char.equally_sized
+            assert 0.0 < char.large_fraction < 0.5
+
+    def test_summary_renders(self):
+        char = characterize_demands([10.0, 50.0], 100.0)
+        text = char.summary()
+        assert "2 jobs" in text
+        assert "CV" in text
+
+
+class TestBarChart:
+    def test_renders_bars(self):
+        rows = [{"trace": "T-1", "G": 100.0, "V": 70.0},
+                {"trace": "T-2", "G": 200.0, "V": 150.0}]
+        chart = render_bar_chart(rows, "trace", ["G", "V"],
+                                 width=20, title="demo")
+        assert "demo" in chart
+        assert chart.count("|") == 4
+        # the largest value gets the full width
+        assert "#" * 20 in chart
+
+    def test_zero_values_safe(self):
+        rows = [{"trace": "T", "G": 0.0, "V": 0.0}]
+        chart = render_bar_chart(rows, "trace", ["G", "V"])
+        assert "T" in chart

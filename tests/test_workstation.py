@@ -1,0 +1,250 @@
+"""Unit tests for the workstation model."""
+
+import math
+
+import pytest
+
+from repro.cluster.config import ClusterConfig, WorkstationSpec
+from repro.cluster.job import Job, JobState, MemoryProfile
+from repro.cluster.memory import PagingModel
+from repro.cluster.workstation import Workstation
+from repro.sim import Simulator
+
+
+def make_node(sim, memory_mb=384.0, on_finish=None, **config_kwargs):
+    config = ClusterConfig(
+        num_nodes=1,
+        spec=WorkstationSpec(memory_mb=memory_mb, swap_mb=memory_mb),
+        kernel_reserved_mb=0.0,
+        **config_kwargs,
+    )
+    paging = PagingModel(alpha=config.residency_alpha,
+                         max_fault_rate_per_cpu_s=config.max_fault_rate_per_cpu_s,
+                         fault_service_s=config.fault_service_s)
+    return Workstation(sim, 0, config.spec, config, paging,
+                       on_job_finished=on_finish)
+
+
+def make_job(work=100.0, demand=50.0, **kwargs):
+    return Job(program="test", cpu_work_s=work,
+               memory=MemoryProfile.constant(demand), **kwargs)
+
+
+class TestSingleJob:
+    def test_lone_job_finishes_after_its_work(self):
+        sim = Simulator()
+        finished = []
+        node = make_node(sim, on_finish=lambda j, n: finished.append(j))
+        job = make_job(work=100.0, demand=50.0)
+        node.add_job(job)
+        sim.run()
+        assert finished == [job]
+        assert job.state is JobState.FINISHED
+        assert sim.now == pytest.approx(100.0)
+        assert job.finish_time == pytest.approx(100.0)
+
+    def test_lone_job_accounting_is_pure_cpu(self):
+        sim = Simulator()
+        node = make_node(sim)
+        job = make_job(work=100.0, demand=50.0)
+        node.add_job(job)
+        sim.run()
+        assert job.acct.cpu_s == pytest.approx(100.0)
+        assert job.acct.page_s == pytest.approx(0.0)
+        assert job.acct.queue_s == pytest.approx(0.0, abs=1e-6)
+
+    def test_oversized_lone_job_thrashes(self):
+        sim = Simulator()
+        node = make_node(sim, memory_mb=100.0)
+        job = make_job(work=100.0, demand=200.0)
+        node.add_job(job)
+        assert node.thrashing
+        assert job.faulting
+        sim.run()
+        # Half the pages missing at K=400 -> 200 faults/cpu-s at 10 ms
+        # each is >= 2 s of stall per cpu second (3x elongation), made
+        # worse by paging-disk contention and fault CPU overhead.
+        assert sim.now >= 300.0 - 1e-6
+        assert job.acct.page_s >= 200.0 - 1e-6
+        # decomposition still holds exactly
+        total = (job.acct.cpu_s + job.acct.page_s + job.acct.io_s
+                 + job.acct.queue_s)
+        assert total == pytest.approx(sim.now, rel=1e-6)
+
+
+class TestSharing:
+    def test_two_equal_jobs_share_cpu(self):
+        sim = Simulator()
+        node = make_node(sim)
+        a, b = make_job(work=100.0), make_job(work=100.0)
+        node.add_job(a)
+        node.add_job(b)
+        sim.run()
+        tax = node.config.context_switch_tax
+        expected = 200.0 / (1.0 - tax)
+        assert sim.now == pytest.approx(expected, rel=1e-6)
+        # Each spent ~half its wall time queuing behind the other.
+        assert a.acct.queue_s == pytest.approx(expected - a.acct.cpu_s,
+                                               rel=1e-4)
+
+    def test_short_job_departs_then_long_job_speeds_up(self):
+        sim = Simulator()
+        finished = []
+        node = make_node(sim, on_finish=lambda j, n: finished.append(j.job_id))
+        short, long_ = make_job(work=10.0), make_job(work=100.0)
+        node.add_job(short)
+        node.add_job(long_)
+        sim.run()
+        assert finished[0] == short.job_id
+        tax = node.config.context_switch_tax
+        # short finishes near t=20 (shared), long does remaining 90 alone
+        t_short = 20.0 / (1.0 - tax)
+        assert short.finish_time == pytest.approx(t_short, rel=1e-6)
+        assert long_.finish_time == pytest.approx(t_short + 90.0, rel=1e-4)
+
+    def test_wall_time_decomposition_sums(self):
+        sim = Simulator()
+        node = make_node(sim, memory_mb=100.0)
+        jobs = [make_job(work=50.0, demand=60.0) for _ in range(3)]
+        start = sim.now
+        for job in jobs:
+            node.add_job(job)
+        sim.run()
+        for job in jobs:
+            wall = job.finish_time - start
+            acct_sum = (job.acct.cpu_s + job.acct.page_s + job.acct.io_s
+                        + job.acct.queue_s + job.acct.migration_s)
+            assert acct_sum == pytest.approx(wall, rel=1e-6)
+
+
+class TestMemoryPhases:
+    def test_demand_follows_phases(self):
+        sim = Simulator()
+        node = make_node(sim)
+        profile = MemoryProfile.from_pairs([(0.0, 10.0), (50.0, 300.0)])
+        job = Job(program="phased", cpu_work_s=100.0, memory=profile)
+        node.add_job(job)
+        sim.run(until=25.0)
+        assert node.total_demand_mb == pytest.approx(10.0)
+        sim.run(until=75.0)
+        assert node.total_demand_mb == pytest.approx(300.0)
+        sim.run()
+        assert job.finished
+
+    def test_phase_growth_triggers_thrashing(self):
+        sim = Simulator()
+        node = make_node(sim, memory_mb=100.0)
+        profile = MemoryProfile.from_pairs([(0.0, 10.0), (10.0, 200.0)])
+        job = Job(program="grower", cpu_work_s=20.0, memory=profile)
+        node.add_job(job)
+        sim.run(until=5.0)
+        assert not node.thrashing
+        sim.run(until=10.0 + 1e-3)
+        assert node.thrashing
+        sim.run()
+        assert job.finished
+
+
+class TestMigrationSupport:
+    def test_remove_job_detaches(self):
+        sim = Simulator()
+        node = make_node(sim)
+        job = make_job(work=100.0)
+        node.add_job(job)
+        sim.run(until=30.0)
+        node.remove_job(job)
+        assert node.num_running == 0
+        assert job.node_id is None
+        assert job.progress_s == pytest.approx(30.0)
+
+    def test_removed_job_keeps_progress_on_new_node(self):
+        sim = Simulator()
+        node_a = make_node(sim)
+        node_b = make_node(sim)
+        job = make_job(work=100.0)
+        node_a.add_job(job)
+        sim.run(until=40.0)
+        node_a.remove_job(job)
+        node_b.add_job(job)
+        sim.run()
+        assert job.finished
+        assert job.finish_time == pytest.approx(100.0)
+
+    def test_remove_unknown_job_raises(self):
+        sim = Simulator()
+        node = make_node(sim)
+        with pytest.raises(ValueError):
+            node.remove_job(make_job())
+
+    def test_add_finished_job_raises(self):
+        sim = Simulator()
+        node = make_node(sim)
+        job = make_job()
+        job.state = JobState.FINISHED
+        with pytest.raises(ValueError):
+            node.add_job(job)
+
+    def test_double_add_raises(self):
+        sim = Simulator()
+        node = make_node(sim)
+        job = make_job()
+        node.add_job(job)
+        with pytest.raises(ValueError):
+            node.add_job(job)
+
+
+class TestAdmission:
+    def test_accepting_requires_slot_and_memory(self):
+        sim = Simulator()
+        node = make_node(sim, memory_mb=100.0, cpu_threshold=2)
+        assert node.accepting
+        node.add_job(make_job(work=10.0, demand=40.0))
+        assert node.accepting
+        node.add_job(make_job(work=10.0, demand=40.0))
+        assert not node.accepting  # CPU threshold reached
+
+    def test_accepting_requires_idle_memory(self):
+        sim = Simulator()
+        node = make_node(sim, memory_mb=100.0)
+        node.add_job(make_job(work=10.0, demand=100.0))
+        assert node.idle_memory_mb == pytest.approx(0.0)
+        assert not node.accepting
+
+    def test_reserved_node_not_accepting(self):
+        sim = Simulator()
+        node = make_node(sim)
+        node.reserved = True
+        assert not node.accepting
+        assert not node.accepts_migration(make_job(demand=1.0))
+
+    def test_accepts_migration_checks_current_demand(self):
+        sim = Simulator()
+        node = make_node(sim, memory_mb=100.0)
+        node.add_job(make_job(work=10.0, demand=60.0))
+        small = make_job(demand=30.0)
+        big = make_job(demand=60.0)
+        assert node.accepts_migration(small)
+        assert not node.accepts_migration(big)
+
+    def test_admits_demand_memory_threshold(self):
+        sim = Simulator()
+        node = make_node(sim, memory_mb=100.0, memory_threshold_factor=1.5)
+        assert node.admits_demand(150.0)
+        assert not node.admits_demand(151.0)
+
+    def test_most_memory_intensive_job(self):
+        sim = Simulator()
+        node = make_node(sim, memory_mb=100.0)
+        small = make_job(work=10.0, demand=20.0)
+        big = make_job(work=10.0, demand=70.0)
+        node.add_job(small)
+        node.add_job(big)
+        assert node.most_memory_intensive_job() is big
+
+    def test_most_memory_intensive_faulting_only(self):
+        sim = Simulator()
+        node = make_node(sim, memory_mb=500.0)
+        node.add_job(make_job(work=10.0, demand=20.0))
+        # memory fits -> nobody faults
+        assert node.most_memory_intensive_job(faulting_only=True) is None
+        assert node.most_memory_intensive_job() is not None
