@@ -1,0 +1,23 @@
+PYTHON ?= python
+PYTHONPATH := src
+export PYTHONPATH
+
+.PHONY: test bench bench-full perf
+
+# Tier-1 verification: the full unit/integration test suite.
+test:
+	$(PYTHON) -m pytest -x -q
+
+# Perf regression harness: times the quick-mode sweep (serial and
+# parallel) and writes BENCH_perf.json at the repo root.
+bench:
+	$(PYTHON) benchmarks/perf_harness.py
+
+# The full experiment benchmark suite (figures, tables, ablations,
+# scenario) in quick mode, plus the perf harness smoke.
+bench-full:
+	$(PYTHON) -m pytest benchmarks -q
+
+# Perf harness with one worker per core.
+perf:
+	$(PYTHON) benchmarks/perf_harness.py --jobs 0

@@ -1,0 +1,42 @@
+"""Perf regression smoke: run the harness and sanity-check the report.
+
+Times the fixed quick-mode sweep serially and with worker processes,
+asserts the determinism invariant (parallel summaries identical to
+serial), and writes ``BENCH_perf.json`` at the repo root so the run
+leaves a comparable perf record behind.  ``REPRO_BENCH_JOBS``
+overrides the parallel worker count (default 4).
+"""
+
+import os
+
+from perf_harness import DEFAULT_OUTPUT, SWEEP_SCALE, run_harness
+
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "4"))
+
+
+def test_perf_harness(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_harness(jobs=JOBS, scale=SWEEP_SCALE,
+                            output=DEFAULT_OUTPUT),
+        rounds=1, iterations=1)
+
+    print()
+    print(f"single run: {report['single_run']['events_per_s']:,.0f} ev/s; "
+          f"sweep serial {report['serial_sweep_wall_s']:.2f}s vs "
+          f"jobs={report['parallel_jobs']} "
+          f"{report['parallel_sweep_wall_s']:.2f}s "
+          f"({report['speedup']:.2f}x on "
+          f"{report['environment']['cpu_count']} cores)")
+
+    # The harness itself verifies serial == parallel summaries.
+    assert report["deterministic"] is True
+    assert report["single_run"]["events"] > 0
+    assert report["serial_sweep_wall_s"] > 0
+    assert report["parallel_sweep_wall_s"] > 0
+    assert os.path.exists(DEFAULT_OUTPUT)
+
+    # Hot-path regression gate: stay comfortably above the pre-change
+    # baseline measured on the machine that introduced the harness.
+    # Machines differ, so only flag an order-of-magnitude collapse.
+    floor = 0.1 * report["baseline"]["single_run_events_per_s"]
+    assert report["single_run"]["events_per_s"] > floor

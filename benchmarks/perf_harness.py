@@ -1,0 +1,173 @@
+"""Perf regression harness: time the quick-mode sweep and write
+``BENCH_perf.json`` at the repo root.
+
+The harness measures three things on a fixed, seeded workload:
+
+* **single-run throughput** — events/sec of one quick-mode run
+  (SPEC trace 3 under G-Loadsharing), the canonical hot-path figure;
+* **serial sweep wall time** — the quick-mode figure-1-shaped sweep
+  (traces 1/3/5 x both headline policies) executed with ``jobs=1``;
+* **parallel sweep wall time** — the same sweep with ``--jobs``
+  workers, verifying the summaries are identical to the serial ones
+  before reporting the speedup.
+
+``BENCH_perf.json`` records those numbers plus the environment
+(cpu count, python version), giving every future PR a trajectory to
+compare against.  ``baseline`` carries the pre-change numbers measured
+on the same machine when this harness was introduced, so a regression
+in single-run events/sec is visible without digging through history.
+
+Usage::
+
+    python benchmarks/perf_harness.py                 # jobs=4, quick scale
+    python benchmarks/perf_harness.py --jobs 8
+    python benchmarks/perf_harness.py --output /tmp/perf.json
+    make bench                                        # repo-root Makefile
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+from typing import List, Optional
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
+
+from repro.experiments.parallel import RunSpec, run_specs  # noqa: E402
+from repro.experiments.runner import run_experiment  # noqa: E402
+from repro.workload.generator import clear_trace_cache  # noqa: E402
+from repro.workload.programs import WorkloadGroup  # noqa: E402
+
+REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__),
+                                         os.pardir))
+DEFAULT_OUTPUT = os.path.join(REPO_ROOT, "BENCH_perf.json")
+
+#: Quick-mode sweep shape: the light/normal/heavy SPEC traces under the
+#: two headline policies, quarter-scale (matches benchmarks/conftest).
+SWEEP_SCALE = 0.25
+SWEEP_TRACES = (1, 3, 5)
+SWEEP_POLICIES = ("g-loadsharing", "v-reconfiguration")
+
+#: Pre-change numbers, measured on the machine that introduced this
+#: harness (1 available core) immediately before the hot-path
+#: optimization landed.  Regenerate when the harness shape changes.
+BASELINE_PRE_CHANGE = {
+    "single_run_events_per_s": 9996.0,
+    "serial_sweep_wall_s": 9.75,
+    "note": ("measured at commit preceding the parallel-sweep/hot-path "
+             "PR, same machine, same sweep shape"),
+}
+
+
+def sweep_specs(scale: float = SWEEP_SCALE) -> List[RunSpec]:
+    return [RunSpec(group=WorkloadGroup.SPEC, trace_index=index,
+                    policy=policy, seed=0, scale=scale)
+            for index in SWEEP_TRACES
+            for policy in SWEEP_POLICIES]
+
+
+def measure_single_run(scale: float = SWEEP_SCALE) -> dict:
+    """Events/sec of one quick-mode run (trace generation excluded)."""
+    clear_trace_cache()
+    warm = run_experiment(WorkloadGroup.SPEC, 3, policy="g-loadsharing",
+                          seed=0, scale=scale)  # warm the trace cache
+    del warm
+    started = time.perf_counter()
+    result = run_experiment(WorkloadGroup.SPEC, 3, policy="g-loadsharing",
+                            seed=0, scale=scale)
+    wall_s = time.perf_counter() - started
+    events = result.cluster.sim.event_count
+    return {
+        "wall_s": wall_s,
+        "events": events,
+        "events_per_s": events / wall_s if wall_s > 0 else 0.0,
+    }
+
+
+def measure_sweep(jobs: int, scale: float = SWEEP_SCALE) -> dict:
+    """Wall seconds for the quick-mode sweep at ``jobs`` workers."""
+    specs = sweep_specs(scale)
+    started = time.perf_counter()
+    summaries = run_specs(specs, jobs=jobs)
+    wall_s = time.perf_counter() - started
+    return {"jobs": jobs, "wall_s": wall_s, "runs": len(summaries),
+            "summaries": summaries}
+
+
+def run_harness(jobs: int = 4, scale: float = SWEEP_SCALE,
+                output: Optional[str] = DEFAULT_OUTPUT) -> dict:
+    """Measure, check determinism, and (optionally) write the report."""
+    single = measure_single_run(scale)
+    serial = measure_sweep(1, scale)
+    parallel = measure_sweep(jobs, scale)
+    if parallel["summaries"] != serial["summaries"]:
+        raise AssertionError(
+            "parallel sweep summaries differ from the serial ones — "
+            "the determinism invariant is broken")
+    speedup = (serial["wall_s"] / parallel["wall_s"]
+               if parallel["wall_s"] > 0 else 0.0)
+    report = {
+        "harness": "benchmarks/perf_harness.py",
+        "environment": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "affinity_cpus": (len(os.sched_getaffinity(0))
+                              if hasattr(os, "sched_getaffinity") else None),
+        },
+        "sweep": {
+            "scale": scale,
+            "traces": list(SWEEP_TRACES),
+            "policies": list(SWEEP_POLICIES),
+            "runs": serial["runs"],
+        },
+        "single_run": single,
+        "serial_sweep_wall_s": serial["wall_s"],
+        "parallel_sweep_wall_s": parallel["wall_s"],
+        "parallel_jobs": jobs,
+        "speedup": speedup,
+        "deterministic": True,
+        "baseline": BASELINE_PRE_CHANGE,
+    }
+    if output:
+        with open(output, "w") as stream:
+            json.dump(report, stream, indent=2, sort_keys=True)
+            stream.write("\n")
+    return report
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Time the quick-mode sweep and write BENCH_perf.json.")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker processes for the parallel leg "
+                             "(default 4; 0 = one per core)")
+    parser.add_argument("--scale", type=float, default=SWEEP_SCALE,
+                        help="trace subsampling factor (default 0.25)")
+    parser.add_argument("--output", default=DEFAULT_OUTPUT,
+                        help="report path (default: repo-root "
+                             "BENCH_perf.json)")
+    args = parser.parse_args(argv)
+    report = run_harness(jobs=args.jobs, scale=args.scale,
+                         output=args.output)
+    single = report["single_run"]
+    print(f"single run : {single['events']} events in "
+          f"{single['wall_s']:.2f}s = {single['events_per_s']:,.0f} ev/s")
+    print(f"sweep      : serial {report['serial_sweep_wall_s']:.2f}s, "
+          f"jobs={report['parallel_jobs']} "
+          f"{report['parallel_sweep_wall_s']:.2f}s, "
+          f"speedup {report['speedup']:.2f}x "
+          f"(on {report['environment']['cpu_count']} cores)")
+    base = report["baseline"]
+    print(f"baseline   : {base['single_run_events_per_s']:,.0f} ev/s, "
+          f"serial sweep {base['serial_sweep_wall_s']:.2f}s (pre-change)")
+    print(f"[wrote {args.output}]")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

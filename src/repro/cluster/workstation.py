@@ -55,6 +55,15 @@ class Workstation:
         self._last_update = sim.now
         self._next_event: Optional[EventHandle] = None
 
+        # Cached aggregates.  Between simulator events every per-job
+        # demand and rate on this node is constant (phase boundaries
+        # and completions each get their own internal event, which
+        # calls _recompute), so these values are exact until the next
+        # state change — queries never need to re-sum the job list.
+        self._total_demand_cache = 0.0
+        self._fault_rate_cache = 0.0
+        self._starving_cache = False
+
         # Diagnostics
         self.busy_cpu_s = 0.0
         self.completed_jobs = 0
@@ -79,21 +88,17 @@ class Workstation:
 
     @property
     def total_demand_mb(self) -> float:
-        self._advance()
-        return sum(job.current_demand_mb for job in self._running)
+        """Sum of current per-job demands (cached; see __init__)."""
+        return self._total_demand_cache
 
     @property
     def idle_memory_mb(self) -> float:
-        return max(0.0, self.user_memory_mb - self.total_demand_mb)
+        return max(0.0, self.user_memory_mb - self._total_demand_cache)
 
     @property
     def fault_rate_per_s(self) -> float:
         """Aggregate page faults per wall-clock second on this node."""
-        self._advance()
-        if self._assessment is None:
-            return 0.0
-        return sum(rate * lam for rate, lam in
-                   zip(self._rates, self._assessment.fault_rates_per_cpu_s))
+        return self._fault_rate_cache
 
     @property
     def has_starving_job(self) -> bool:
@@ -101,15 +106,14 @@ class Workstation:
         stalled on page faults — the silently starved large job of the
         paper's §2.2 ("less competitive than jobs with small memory
         allocations")."""
-        self._advance()
-        return any(stall >= 1.0 for stall in self._fault_stalls)
+        return self._starving_cache
 
     @property
     def thrashing(self) -> bool:
         """Overloaded by paging: either the node-aggregate fault rate
         exceeds the detection threshold, or some job is starving."""
-        return (self.fault_rate_per_s > self.config.fault_rate_threshold
-                or self.has_starving_job)
+        return (self._fault_rate_cache > self.config.fault_rate_threshold
+                or self._starving_cache)
 
     @property
     def has_free_slot(self) -> bool:
@@ -179,6 +183,8 @@ class Workstation:
     def _advance(self) -> None:
         """Bring progress and accounting up to the current instant."""
         now = self._sim.now
+        if now == self._last_update:
+            return
         dt = now - self._last_update
         if dt <= 0:
             return
@@ -210,6 +216,7 @@ class Workstation:
         fixed-point iteration resolves the coupling.
         """
         demands = [job.current_demand_mb for job in self._running]
+        self._total_demand_cache = sum(demands)
         self._assessment = self._paging.assess(demands, self.user_memory_mb)
         lambdas = self._assessment.fault_rates_per_cpu_s
         service = self.config.fault_service_s
@@ -251,6 +258,10 @@ class Workstation:
         self._rates = rates
         self._fault_stalls = fault_stalls
         self._io_stalls = io_stalls
+        self._fault_rate_cache = sum(
+            rate * lam for rate, lam in zip(rates, lambdas))
+        self._starving_cache = any(
+            stall >= 1.0 for stall in fault_stalls)
         for job, lam in zip(self._running, lambdas):
             job.faulting = lam > 0.0
         self._schedule_next_event()

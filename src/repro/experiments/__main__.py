@@ -3,12 +3,13 @@
 Usage::
 
     python -m repro.experiments all            # everything, full scale
+    python -m repro.experiments all --jobs 8   # ... with 8 worker processes
     python -m repro.experiments table1 table2
     python -m repro.experiments figure1 --scale 0.25
     python -m repro.experiments figure1 --export-csv fig1.csv
     python -m repro.experiments scenario       # constructed blocking demo
     python -m repro.experiments heterogeneity  # §2.3/§6 extension
-    python -m repro.experiments ablations --scale 0.25
+    python -m repro.experiments ablations --scale 0.25 --jobs 0
     python -m repro.experiments figure3 --seed 7 --chart
 """
 
@@ -67,6 +68,10 @@ def main(argv: List[str] = None) -> int:
                         help="trace subsampling factor in (0, 1]")
     parser.add_argument("--seed", type=int, default=0,
                         help="workload generation seed")
+    parser.add_argument("--jobs", type=int, default=1, metavar="N",
+                        help="worker processes for sweep targets "
+                             "(1 = serial, 0 = one per core); results "
+                             "are identical at any N")
     parser.add_argument("--export-csv", metavar="PATH", default=None,
                         help="write figure comparison rows to CSV "
                              "(single figure target only)")
@@ -93,7 +98,8 @@ def main(argv: List[str] = None) -> int:
         elif target == "table2":
             print(render_table2())
         elif target in ALL_FIGURES:
-            result = ALL_FIGURES[target](seed=args.seed, scale=args.scale)
+            result = ALL_FIGURES[target](seed=args.seed, scale=args.scale,
+                                         jobs=args.jobs)
             print(result.render())
             if args.chart:
                 for panel, rows in result.panels.items():
@@ -110,11 +116,12 @@ def main(argv: List[str] = None) -> int:
         elif target == "heterogeneity":
             report = run_heterogeneity_experiment(
                 group=WorkloadGroup.APP, trace_index=3,
-                seed=args.seed, scale=args.scale)
+                seed=args.seed, scale=args.scale, jobs=args.jobs)
             print(report.render())
         elif target == "ablations":
             for name, fn in ALL_ABLATIONS.items():
-                print(fn(seed=args.seed, scale=args.scale).render())
+                print(fn(seed=args.seed, scale=args.scale,
+                         jobs=args.jobs).render())
                 print()
         print(f"[{target} done in {time.time() - started:.1f}s]\n")
     return 0

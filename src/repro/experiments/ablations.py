@@ -18,6 +18,10 @@ measurable:
   and consistent dissemination as an open issue);
 * ``cpu_threshold`` — job slots per workstation;
 * ``baselines`` — every policy in the registry on the same trace.
+
+Every ablation accepts ``jobs``: the sweep variants are independent
+runs, so they fan out through :mod:`repro.experiments.parallel` and
+the rows come back in variant order regardless of worker count.
 """
 
 from __future__ import annotations
@@ -27,7 +31,8 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.cluster.config import ClusterConfig
 from repro.core.reservation import ReservationMode
-from repro.experiments.runner import POLICIES, default_config, run_experiment
+from repro.experiments.parallel import RunSpec, run_specs
+from repro.experiments.runner import POLICIES, default_config
 from repro.metrics.report import render_table
 from repro.metrics.summary import RunSummary
 from repro.workload.programs import WorkloadGroup
@@ -58,154 +63,156 @@ def _row(label: str, summary: RunSummary) -> dict:
     }
 
 
+def _sweep_rows(name: str, specs: Sequence[RunSpec],
+                jobs: int = 1) -> AblationResult:
+    """Run labelled specs (possibly in parallel) and tabulate them."""
+    summaries = run_specs(specs, jobs=jobs)
+    rows = [_row(spec.label, summary)
+            for spec, summary in zip(specs, summaries)]
+    return AblationResult(name, rows)
+
+
 def reservation_mode_ablation(group: WorkloadGroup = WorkloadGroup.SPEC,
                               trace_index: int = 3, seed: int = 0,
                               scale: float = 1.0,
-                              config: Optional[ClusterConfig] = None
-                              ) -> AblationResult:
+                              config: Optional[ClusterConfig] = None,
+                              jobs: int = 1) -> AblationResult:
     """Drain-all vs first-fit reserving periods (§2.1 alternative)."""
     cfg = config if config is not None else default_config(group)
-    rows = []
-    for mode in (ReservationMode.DRAIN_ALL, ReservationMode.FIRST_FIT):
-        summary = run_experiment(
-            group, trace_index, policy="v-reconfiguration", seed=seed,
-            config=cfg, scale=scale,
-            policy_kwargs={"mode": mode}).summary
-        rows.append(_row(mode.value, summary))
-    return AblationResult("reserving-period termination rule", rows)
+    specs = [RunSpec(group=group, trace_index=trace_index,
+                     policy="v-reconfiguration", seed=seed, scale=scale,
+                     config=cfg, policy_kwargs={"mode": mode},
+                     label=mode.value)
+             for mode in (ReservationMode.DRAIN_ALL,
+                          ReservationMode.FIRST_FIT)]
+    return _sweep_rows("reserving-period termination rule", specs, jobs)
 
 
 def _config_sweep(name: str, values: Sequence, apply: Callable,
                   group: WorkloadGroup, trace_index: int, seed: int,
                   scale: float, policy: str = "v-reconfiguration",
-                  config: Optional[ClusterConfig] = None) -> AblationResult:
-    rows = []
+                  config: Optional[ClusterConfig] = None,
+                  jobs: int = 1) -> AblationResult:
+    specs = []
     for value in values:
         cfg = apply(config if config is not None else default_config(group),
                     value)
-        summary = run_experiment(group, trace_index, policy=policy,
-                                 seed=seed, config=cfg, scale=scale).summary
-        rows.append(_row(f"{name}={value}", summary))
-    return AblationResult(name, rows)
+        specs.append(RunSpec(group=group, trace_index=trace_index,
+                             policy=policy, seed=seed, scale=scale,
+                             config=cfg, label=f"{name}={value}"))
+    return _sweep_rows(name, specs, jobs)
 
 
 def residency_alpha_ablation(group: WorkloadGroup = WorkloadGroup.SPEC,
                              trace_index: int = 3, seed: int = 0,
                              scale: float = 1.0,
-                             values: Sequence[float] = (0.5, 0.7, 0.85, 1.0)
-                             ) -> AblationResult:
+                             values: Sequence[float] = (0.5, 0.7, 0.85, 1.0),
+                             jobs: int = 1) -> AblationResult:
     return _config_sweep(
         "residency_alpha", values,
         lambda cfg, v: cfg.replace(residency_alpha=v),
-        group, trace_index, seed, scale)
+        group, trace_index, seed, scale, jobs=jobs)
 
 
 def fault_cost_ablation(group: WorkloadGroup = WorkloadGroup.SPEC,
                         trace_index: int = 3, seed: int = 0,
                         scale: float = 1.0,
-                        values: Sequence[float] = (100.0, 400.0, 800.0)
-                        ) -> AblationResult:
+                        values: Sequence[float] = (100.0, 400.0, 800.0),
+                        jobs: int = 1) -> AblationResult:
     return _config_sweep(
         "max_fault_rate", values,
         lambda cfg, v: cfg.replace(max_fault_rate_per_cpu_s=v),
-        group, trace_index, seed, scale)
+        group, trace_index, seed, scale, jobs=jobs)
 
 
 def network_speed_ablation(group: WorkloadGroup = WorkloadGroup.SPEC,
                            trace_index: int = 3, seed: int = 0,
                            scale: float = 1.0,
-                           values: Sequence[float] = (10.0, 100.0, 1000.0)
-                           ) -> AblationResult:
+                           values: Sequence[float] = (10.0, 100.0, 1000.0),
+                           jobs: int = 1) -> AblationResult:
     """§5: faster networks shrink migration cost towards irrelevance."""
     return _config_sweep(
         "bandwidth_mbps", values,
         lambda cfg, v: cfg.replace(network_bandwidth_mbps=v),
-        group, trace_index, seed, scale)
+        group, trace_index, seed, scale, jobs=jobs)
 
 
 def load_info_staleness_ablation(group: WorkloadGroup = WorkloadGroup.SPEC,
                                  trace_index: int = 3, seed: int = 0,
                                  scale: float = 1.0,
                                  values: Sequence[float] = (0.0, 1.0, 5.0,
-                                                            15.0)
-                                 ) -> AblationResult:
+                                                            15.0),
+                                 jobs: int = 1) -> AblationResult:
     return _config_sweep(
         "exchange_interval_s", values,
         lambda cfg, v: cfg.replace(load_exchange_interval_s=v),
-        group, trace_index, seed, scale)
+        group, trace_index, seed, scale, jobs=jobs)
 
 
 def cpu_threshold_ablation(group: WorkloadGroup = WorkloadGroup.SPEC,
                            trace_index: int = 3, seed: int = 0,
                            scale: float = 1.0,
-                           values: Sequence[int] = (2, 4, 6, 8)
-                           ) -> AblationResult:
+                           values: Sequence[int] = (2, 4, 6, 8),
+                           jobs: int = 1) -> AblationResult:
     return _config_sweep(
         "cpu_threshold", values,
         lambda cfg, v: cfg.replace(cpu_threshold=v),
-        group, trace_index, seed, scale)
+        group, trace_index, seed, scale, jobs=jobs)
 
 
 def max_reserved_ablation(group: WorkloadGroup = WorkloadGroup.SPEC,
                           trace_index: int = 3, seed: int = 0,
                           scale: float = 1.0,
-                          values: Sequence[int] = (1, 2, 4, 8)
-                          ) -> AblationResult:
+                          values: Sequence[int] = (1, 2, 4, 8),
+                          jobs: int = 1) -> AblationResult:
     cfg = default_config(group)
-    rows = []
-    for value in values:
-        summary = run_experiment(
-            group, trace_index, policy="v-reconfiguration", seed=seed,
-            config=cfg, scale=scale,
-            policy_kwargs={"max_reserved": value}).summary
-        rows.append(_row(f"max_reserved={value}", summary))
-    return AblationResult("max reserved workstations", rows)
+    specs = [RunSpec(group=group, trace_index=trace_index,
+                     policy="v-reconfiguration", seed=seed, scale=scale,
+                     config=cfg, policy_kwargs={"max_reserved": value},
+                     label=f"max_reserved={value}")
+             for value in values]
+    return _sweep_rows("max reserved workstations", specs, jobs)
 
 
 def baseline_sweep(group: WorkloadGroup = WorkloadGroup.SPEC,
                    trace_index: int = 3, seed: int = 0,
                    scale: float = 1.0,
-                   policies: Optional[Sequence[str]] = None
-                   ) -> AblationResult:
+                   policies: Optional[Sequence[str]] = None,
+                   jobs: int = 1) -> AblationResult:
     """Every policy in the registry on the same trace (§1-2 discussion:
     no sharing, CPU-only, memory-only, suspension, G-LS, V-Reconf)."""
     names = list(policies) if policies else list(POLICIES)
-    rows = []
-    for name in names:
-        summary = run_experiment(group, trace_index, policy=name,
-                                 seed=seed, scale=scale).summary
-        rows.append(_row(name, summary))
-    return AblationResult("policy comparison", rows)
+    specs = [RunSpec(group=group, trace_index=trace_index, policy=name,
+                     seed=seed, scale=scale, label=name)
+             for name in names]
+    return _sweep_rows("policy comparison", specs, jobs)
 
 
 def victim_ranking_ablation(group: WorkloadGroup = WorkloadGroup.SPEC,
                             trace_index: int = 3, seed: int = 0,
-                            scale: float = 1.0) -> AblationResult:
+                            scale: float = 1.0,
+                            jobs: int = 1) -> AblationResult:
     """§2.2 extension: rank rescue victims by demand alone (paper) vs
     demand x age (using [5]'s lifetime prediction)."""
-    rows = []
-    for age_weighted in (False, True):
-        summary = run_experiment(
-            group, trace_index, policy="v-reconfiguration", seed=seed,
-            scale=scale,
-            policy_kwargs={"age_weighted_victims": age_weighted}).summary
-        label = "demand-x-age" if age_weighted else "demand-only"
-        rows.append(_row(label, summary))
-    return AblationResult("victim ranking rule", rows)
+    specs = [RunSpec(group=group, trace_index=trace_index,
+                     policy="v-reconfiguration", seed=seed, scale=scale,
+                     policy_kwargs={"age_weighted_victims": age_weighted},
+                     label="demand-x-age" if age_weighted else "demand-only")
+             for age_weighted in (False, True)]
+    return _sweep_rows("victim ranking rule", specs, jobs)
 
 
 def network_ram_ablation(group: WorkloadGroup = WorkloadGroup.APP,
                          trace_index: int = 3, seed: int = 0,
-                         scale: float = 1.0) -> AblationResult:
+                         scale: float = 1.0,
+                         jobs: int = 1) -> AblationResult:
     """§2.3 extension: serve faults from remote memory ([12])."""
-    rows = []
-    for enabled in (False, True):
-        cfg = default_config(group).replace(network_ram=enabled)
-        summary = run_experiment(group, trace_index,
-                                 policy="v-reconfiguration", seed=seed,
-                                 config=cfg, scale=scale).summary
-        rows.append(_row(f"network_ram={enabled}", summary))
-    return AblationResult("network RAM fault service", rows)
+    specs = [RunSpec(group=group, trace_index=trace_index,
+                     policy="v-reconfiguration", seed=seed, scale=scale,
+                     config=default_config(group).replace(network_ram=enabled),
+                     label=f"network_ram={enabled}")
+             for enabled in (False, True)]
+    return _sweep_rows("network RAM fault service", specs, jobs)
 
 
 ALL_ABLATIONS: Dict[str, Callable[..., AblationResult]] = {

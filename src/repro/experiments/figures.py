@@ -14,7 +14,8 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from repro.cluster.config import ClusterConfig
-from repro.experiments.runner import default_config, run_experiment
+from repro.experiments.parallel import RunSpec, run_specs
+from repro.experiments.runner import default_config
 from repro.metrics.report import comparison_table, render_table
 from repro.metrics.summary import RunSummary
 from repro.workload.programs import WorkloadGroup
@@ -62,18 +63,17 @@ def _run_figure(figure: str, group: WorkloadGroup,
                 paper_keys: Dict[str, str],
                 seed: int = 0, scale: float = 1.0,
                 config: Optional[ClusterConfig] = None,
-                trace_indices: Optional[Sequence[int]] = None
-                ) -> FigureResult:
+                trace_indices: Optional[Sequence[int]] = None,
+                jobs: int = 1) -> FigureResult:
     indices = list(trace_indices) if trace_indices else [1, 2, 3, 4, 5]
     cfg = config if config is not None else default_config(group)
-    baseline, improved = [], []
-    for index in indices:
-        baseline.append(run_experiment(
-            group, index, policy="g-loadsharing", seed=seed, config=cfg,
-            scale=scale).summary)
-        improved.append(run_experiment(
-            group, index, policy="v-reconfiguration", seed=seed, config=cfg,
-            scale=scale).summary)
+    specs = [RunSpec(group=group, trace_index=index, policy=policy,
+                     seed=seed, scale=scale, config=cfg)
+             for index in indices
+             for policy in ("g-loadsharing", "v-reconfiguration")]
+    summaries = run_specs(specs, jobs=jobs)
+    baseline = summaries[0::2]
+    improved = summaries[1::2]
     result = FigureResult(figure=figure, group=group,
                           baseline=baseline, improved=improved)
     for panel, metric in panel_metrics.items():
@@ -89,7 +89,8 @@ def _run_figure(figure: str, group: WorkloadGroup,
 
 def figure1(seed: int = 0, scale: float = 1.0,
             config: Optional[ClusterConfig] = None,
-            trace_indices: Optional[Sequence[int]] = None) -> FigureResult:
+            trace_indices: Optional[Sequence[int]] = None,
+            jobs: int = 1) -> FigureResult:
     """Figure 1: total execution times and queuing times, group 1."""
     return _run_figure(
         "Figure 1", WorkloadGroup.SPEC,
@@ -97,12 +98,14 @@ def figure1(seed: int = 0, scale: float = 1.0,
          "total queuing time (s)": lambda s: s.total_queuing_time_s},
         {"total execution time (s)": "spec_execution_time",
          "total queuing time (s)": "spec_queuing_time"},
-        seed=seed, scale=scale, config=config, trace_indices=trace_indices)
+        seed=seed, scale=scale, config=config, trace_indices=trace_indices,
+        jobs=jobs)
 
 
 def figure2(seed: int = 0, scale: float = 1.0,
             config: Optional[ClusterConfig] = None,
-            trace_indices: Optional[Sequence[int]] = None) -> FigureResult:
+            trace_indices: Optional[Sequence[int]] = None,
+            jobs: int = 1) -> FigureResult:
     """Figure 2: average slowdowns and average idle memory volumes,
     group 1."""
     return _run_figure(
@@ -111,12 +114,14 @@ def figure2(seed: int = 0, scale: float = 1.0,
          "average idle memory (MB)": lambda s: s.average_idle_memory_mb},
         {"average slowdown": "spec_slowdown",
          "average idle memory (MB)": "spec_idle_memory"},
-        seed=seed, scale=scale, config=config, trace_indices=trace_indices)
+        seed=seed, scale=scale, config=config, trace_indices=trace_indices,
+        jobs=jobs)
 
 
 def figure3(seed: int = 0, scale: float = 1.0,
             config: Optional[ClusterConfig] = None,
-            trace_indices: Optional[Sequence[int]] = None) -> FigureResult:
+            trace_indices: Optional[Sequence[int]] = None,
+            jobs: int = 1) -> FigureResult:
     """Figure 3: total execution times and queuing times, group 2."""
     return _run_figure(
         "Figure 3", WorkloadGroup.APP,
@@ -124,12 +129,14 @@ def figure3(seed: int = 0, scale: float = 1.0,
          "total queuing time (s)": lambda s: s.total_queuing_time_s},
         {"total execution time (s)": "app_execution_time",
          "total queuing time (s)": "app_queuing_time"},
-        seed=seed, scale=scale, config=config, trace_indices=trace_indices)
+        seed=seed, scale=scale, config=config, trace_indices=trace_indices,
+        jobs=jobs)
 
 
 def figure4(seed: int = 0, scale: float = 1.0,
             config: Optional[ClusterConfig] = None,
-            trace_indices: Optional[Sequence[int]] = None) -> FigureResult:
+            trace_indices: Optional[Sequence[int]] = None,
+            jobs: int = 1) -> FigureResult:
     """Figure 4: average slowdowns and average job balance skews,
     group 2."""
     return _run_figure(
@@ -138,7 +145,8 @@ def figure4(seed: int = 0, scale: float = 1.0,
          "average job balance skew": lambda s: s.average_job_balance_skew},
         {"average slowdown": "app_slowdown",
          "average job balance skew": "app_balance_skew"},
-        seed=seed, scale=scale, config=config, trace_indices=trace_indices)
+        seed=seed, scale=scale, config=config, trace_indices=trace_indices,
+        jobs=jobs)
 
 
 ALL_FIGURES = {

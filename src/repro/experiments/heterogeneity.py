@@ -19,12 +19,10 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional
 
 from repro.cluster.config import ClusterConfig, WorkstationSpec
-from repro.experiments.runner import (
-    ExperimentResult,
-    default_config,
-    run_experiment,
-)
+from repro.experiments.parallel import RunSpec, run_specs
+from repro.experiments.runner import default_config
 from repro.metrics.report import render_table
+from repro.metrics.summary import RunSummary
 from repro.workload.programs import WorkloadGroup
 
 
@@ -105,8 +103,7 @@ class HeterogeneityReport:
         return table + "\n" + placement
 
 
-def _row(label: str, result: ExperimentResult) -> dict:
-    summary = result.summary
+def _row(label: str, summary: RunSummary) -> dict:
     return {
         "cluster": label,
         "policy": summary.policy,
@@ -123,27 +120,30 @@ def run_heterogeneity_experiment(group: WorkloadGroup = WorkloadGroup.APP,
                                  scale: float = 1.0,
                                  big_fraction: float = 0.25,
                                  memory_ratio: float = 2.0,
-                                 speed_ratio: float = 1.5
-                                 ) -> HeterogeneityReport:
-    """Homogeneous vs heterogeneous, both policies, one trace."""
+                                 speed_ratio: float = 1.5,
+                                 jobs: int = 1) -> HeterogeneityReport:
+    """Homogeneous vs heterogeneous, both policies, one trace.
+
+    The four (cluster, policy) runs are independent, so ``jobs`` fans
+    them out to worker processes; the placement analysis reads the
+    reservation counts carried back on each run's summary.
+    """
     hetero = heterogeneous_config(group, big_fraction=big_fraction,
                                   memory_ratio=memory_ratio,
                                   speed_ratio=speed_ratio)
+    specs = [RunSpec(group=group, trace_index=trace_index, policy=policy,
+                     seed=seed, scale=scale, config=config, label=label)
+             for label, config in (("homogeneous", default_config(group)),
+                                   ("heterogeneous", hetero))
+             for policy in ("g-loadsharing", "v-reconfiguration")]
+    summaries = run_specs(specs, jobs=jobs)
     rows: List[dict] = []
     placement: Dict[int, int] = {}
-    for label, config in (("homogeneous", default_config(group)),
-                          ("heterogeneous", hetero)):
-        for policy in ("g-loadsharing", "v-reconfiguration"):
-            result = run_experiment(group, trace_index, policy=policy,
-                                    seed=seed, config=config,
-                                    scale=scale)
-            rows.append(_row(label, result))
-            if label == "heterogeneous" and hasattr(result.policy,
-                                                    "reservation_timeline"):
-                for event in result.policy.reservation_timeline:
-                    if event.kind == "reserve":
-                        placement[event.node_id] = (
-                            placement.get(event.node_id, 0) + 1)
+    for spec, summary in zip(specs, summaries):
+        rows.append(_row(spec.label, summary))
+        if spec.label == "heterogeneous":
+            for node_id, count in summary.reservation_placements.items():
+                placement[node_id] = placement.get(node_id, 0) + count
     return HeterogeneityReport(
         group=group, trace_index=trace_index, rows=rows,
         reservation_placement=placement,

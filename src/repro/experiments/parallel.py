@@ -1,0 +1,141 @@
+"""Parallel execution of independent experiment runs.
+
+Every figure/table/ablation in the paper is a sweep of mutually
+independent trace-driven simulations (clusters x traces x policies),
+which makes the reproduction embarrassingly parallel: each run is
+described by a picklable :class:`RunSpec`, executed in a worker
+process, and reduced to its :class:`~repro.metrics.summary.RunSummary`
+before crossing the process boundary (the live ``Cluster`` /
+``Simulator`` objects are full of scheduled closures and are neither
+picklable nor needed by any report).
+
+Determinism is the invariant: a worker runs exactly the same
+``run_experiment`` call the serial path would, from the same seeds, so
+``run_specs(specs, jobs=N)`` returns summaries identical to
+``jobs=1`` for every ``N`` — a property asserted by the test suite and
+the perf harness.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.config import ClusterConfig
+from repro.metrics.summary import RunSummary
+from repro.workload.programs import WorkloadGroup
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One independent experiment run, fully described by value.
+
+    The spec mirrors :func:`repro.experiments.runner.run_experiment`'s
+    signature; ``label`` is a free-form tag callers may use to map
+    results back to sweep variants (it does not affect execution).
+    """
+
+    group: WorkloadGroup
+    trace_index: int
+    policy: str = "g-loadsharing"
+    seed: int = 0
+    scale: float = 1.0
+    config: Optional[ClusterConfig] = None
+    policy_kwargs: Optional[Dict[str, object]] = None
+    label: Optional[str] = None
+
+    def describe(self) -> str:
+        extras = f" kwargs={self.policy_kwargs}" if self.policy_kwargs else ""
+        return (f"{self.group.value}-trace-{self.trace_index} "
+                f"policy={self.policy} seed={self.seed} "
+                f"scale={self.scale}{extras}")
+
+
+class SweepError(RuntimeError):
+    """A worker run failed; carries the failing :class:`RunSpec`."""
+
+    def __init__(self, spec: RunSpec, detail: str):
+        super().__init__(f"run failed for spec [{spec.describe()}]:\n{detail}")
+        self.spec = spec
+        self.detail = detail
+
+
+def execute_spec(spec: RunSpec) -> RunSummary:
+    """Run one spec in-process and return its summary."""
+    # Imported lazily: runner imports the policy registry (and through
+    # it most of the package), while RunSpec itself stays importable
+    # from anywhere without cycles.
+    from repro.experiments.runner import run_experiment
+
+    kwargs = dict(spec.policy_kwargs) if spec.policy_kwargs else None
+    return run_experiment(spec.group, spec.trace_index, policy=spec.policy,
+                          seed=spec.seed, config=spec.config,
+                          scale=spec.scale, policy_kwargs=kwargs).summary
+
+
+def _worker(spec: RunSpec) -> Tuple[str, object]:
+    """Process-pool entry point.
+
+    Failures are returned as formatted tracebacks rather than raised:
+    arbitrary exception objects may not survive pickling back to the
+    parent, a traceback string always does.
+    """
+    try:
+        return ("ok", execute_spec(spec))
+    except Exception:  # noqa: BLE001 - reported with full traceback
+        return ("error", traceback.format_exc())
+
+
+def default_jobs() -> int:
+    """Worker count used for ``jobs=0`` / ``jobs=None`` (all cores)."""
+    return os.cpu_count() or 1
+
+
+def _fork_available() -> bool:
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def run_specs(specs: Sequence[RunSpec], jobs: int = 1) -> List[RunSummary]:
+    """Execute ``specs`` and return their summaries in input order.
+
+    ``jobs`` is the number of worker processes; ``0``/``None`` means
+    one per core.  With ``jobs=1`` — or on platforms without the
+    ``fork`` start method, where spawning workers would re-import the
+    world per process — the specs run serially in-process, so callers
+    can pass a user-supplied ``--jobs`` value straight through without
+    platform checks.  Results are byte-identical either way.
+
+    A failing run raises :class:`SweepError` with the offending
+    :class:`RunSpec` attached as ``.spec``; remaining workers are not
+    waited on beyond pool shutdown.
+    """
+    specs = list(specs)
+    if jobs is None or jobs == 0:
+        jobs = default_jobs()
+    if jobs < 0:
+        raise ValueError(f"jobs must be >= 0, got {jobs}")
+    if jobs == 1 or len(specs) <= 1 or not _fork_available():
+        results = []
+        for spec in specs:
+            try:
+                results.append(execute_spec(spec))
+            except Exception:  # noqa: BLE001 - uniform error surface
+                raise SweepError(spec, traceback.format_exc()) from None
+        return results
+
+    context = multiprocessing.get_context("fork")
+    workers = min(jobs, len(specs))
+    with ProcessPoolExecutor(max_workers=workers,
+                             mp_context=context) as pool:
+        futures = [pool.submit(_worker, spec) for spec in specs]
+        results = []
+        for spec, future in zip(specs, futures):
+            status, payload = future.result()
+            if status == "error":
+                raise SweepError(spec, str(payload))
+            results.append(payload)
+    return results

@@ -9,6 +9,7 @@ full-scale runs reproduce the paper's configuration exactly.
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Type
 
@@ -61,13 +62,36 @@ class ExperimentResult:
 
 def subsample_trace(trace: Trace, scale: float) -> Trace:
     """Keep roughly ``scale`` of the jobs, preserving the arrival shape
-    by taking every k-th job rather than a prefix."""
+    by taking every k-th job rather than a prefix.
+
+    ``duration_s`` is deliberately *not* scaled: thinning keeps every
+    k-th arrival at its original instant, so the subsampled trace still
+    spans the full trace duration — only the arrival rate drops.
+    Scaling the metadata would misstate the span and skew any rate
+    (jobs/duration) derived from it.
+
+    Stride-based thinning cannot realize scales just below 1.0:
+    ``round(1/scale)`` rounds to stride 1 for ``scale > 2/3``, which
+    would silently return the full trace, so those scales raise.
+    Realizable-but-coarse scales (e.g. 0.51 -> stride 2, an actual 0.5)
+    warn when the realized fraction is off by more than 25%.
+    """
     if not 0 < scale <= 1:
         raise ValueError("scale must be in (0, 1]")
     if scale == 1.0:
         return trace
-    stride = max(1, round(1.0 / scale))
+    stride = round(1.0 / scale)
+    if stride < 2:
+        raise ValueError(
+            f"scale={scale} cannot be realized by stride subsampling "
+            f"(stride would be {max(1, stride)}, i.e. the full trace); "
+            f"use scale <= 0.5 or scale == 1.0")
     jobs = [job for i, job in enumerate(trace.jobs) if i % stride == 0]
+    actual = len(jobs) / max(1, len(trace.jobs))
+    if abs(actual - scale) > 0.25 * scale:
+        warnings.warn(
+            f"subsample_trace(scale={scale}) realized {actual:.3f} "
+            f"via stride {stride}", stacklevel=2)
     return Trace(name=trace.name, group=trace.group,
                  trace_index=trace.trace_index,
                  duration_s=trace.duration_s, jobs=jobs)
@@ -111,10 +135,18 @@ def run_experiment(group: WorkloadGroup, trace_index: int,
 def run_group(group: WorkloadGroup, policy: str, seed: int = 0,
               config: Optional[ClusterConfig] = None,
               scale: float = 1.0,
-              trace_indices: Optional[List[int]] = None
-              ) -> List[RunSummary]:
-    """Run all five traces of a group under one policy."""
+              trace_indices: Optional[List[int]] = None,
+              jobs: int = 1) -> List[RunSummary]:
+    """Run all five traces of a group under one policy.
+
+    ``jobs`` fans the independent per-trace runs out to worker
+    processes (see :mod:`repro.experiments.parallel`); the returned
+    summaries are identical to the serial ones, in trace order.
+    """
+    from repro.experiments.parallel import RunSpec, run_specs
+
     indices = trace_indices if trace_indices is not None else [1, 2, 3, 4, 5]
-    return [run_experiment(group, i, policy=policy, seed=seed,
-                           config=config, scale=scale).summary
-            for i in indices]
+    specs = [RunSpec(group=group, trace_index=i, policy=policy, seed=seed,
+                     scale=scale, config=config)
+             for i in indices]
+    return run_specs(specs, jobs=jobs)

@@ -1,4 +1,10 @@
-"""Tables 1 and 2: the program catalogs, printed paper-style."""
+"""Tables 1 and 2: the program catalogs, printed paper-style.
+
+Unlike the figures/ablations, these targets run no simulations — they
+render the static program catalogs — so the CLI's ``--jobs`` sweep
+parallelism (see :mod:`repro.experiments.parallel`) does not apply
+here and the renderers intentionally take no ``jobs`` argument.
+"""
 
 from __future__ import annotations
 

@@ -82,18 +82,39 @@ class MetricsCollector:
     # ------------------------------------------------------------------
     def average_idle_memory_mb(self, until: Optional[float] = None) -> float:
         """Time-averaged total idle memory over the workload lifetime."""
-        values = [s.total_idle_memory_mb for s in self.samples
-                  if until is None or s.time <= until]
-        return sum(values) / len(values) if values else 0.0
+        total = 0.0
+        count = 0
+        for s in self.samples:
+            if until is not None and s.time > until:
+                break
+            total += s.total_idle_memory_mb
+            count += 1
+        return total / count if count else 0.0
 
     def average_job_balance_skew(self, until: Optional[float] = None
                                  ) -> float:
         """Time-averaged balance skew among non-reserved workstations."""
-        values = [s.job_balance_skew for s in self.samples
-                  if until is None or s.time <= until]
-        return sum(values) / len(values) if values else 0.0
+        total = 0.0
+        count = 0
+        for s in self.samples:
+            if until is not None and s.time > until:
+                break
+            total += s.job_balance_skew
+            count += 1
+        return total / count if count else 0.0
 
     def reserved_node_seconds(self) -> float:
-        """Integral of the reserved-node count (reconfiguration cost)."""
-        return sum(s.num_reserved for s in self.samples) \
-            * self.sample_interval_s
+        """Integral of the reserved-node count (reconfiguration cost).
+
+        Integrates over the *actual* spacing between samples: each
+        sample's count is held for the interval since the previous one
+        (left-closed step function from t=0), so manual :meth:`sample`
+        calls between periodic ticks refine the integral instead of
+        each being billed a full ``sample_interval_s``.
+        """
+        total = 0.0
+        last_time = 0.0
+        for s in self.samples:
+            total += s.num_reserved * (s.time - last_time)
+            last_time = s.time
+        return total

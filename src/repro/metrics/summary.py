@@ -42,6 +42,12 @@ class RunSummary:
     blocking_events: int
     extra: Dict[str, float] = field(default_factory=dict)
     slowdowns: List[float] = field(default_factory=list)
+    #: node id -> number of reservations placed there (policies with a
+    #: reservation timeline only; lets sweep consumers reason about
+    #: placement — e.g. §2.3's big-memory-node prediction — without
+    #: holding the live policy object, which never crosses a process
+    #: boundary in parallel sweeps.
+    reservation_placements: Dict[int, int] = field(default_factory=dict)
 
     @property
     def max_slowdown(self) -> float:
@@ -67,6 +73,10 @@ def summarize_run(policy: LoadSharingPolicy, jobs: List[Job],
             f"{len(unfinished)} jobs never finished (first: "
             f"{unfinished[0]!r}); the simulation did not drain")
     totals = total_accounting(jobs)
+    placements: Dict[int, int] = {}
+    for event in getattr(policy, "reservation_timeline", ()):
+        if event.kind == "reserve":
+            placements[event.node_id] = placements.get(event.node_id, 0) + 1
     slowdowns = [job.slowdown() for job in jobs]
     makespan = max(job.finish_time for job in jobs) if jobs else 0.0
     total_exec = sum(job.finish_time - job.submit_time for job in jobs)
@@ -93,4 +103,5 @@ def summarize_run(policy: LoadSharingPolicy, jobs: List[Job],
         blocking_events=policy.stats.blocking_events,
         extra=dict(policy.stats.extra),
         slowdowns=slowdowns,
+        reservation_placements=placements,
     )

@@ -53,8 +53,11 @@ class EventHandle:
             return
         self.cancelled = True
         self.callback = None  # break reference cycles early
-        if self._owner is not None and not self.daemon:
-            self._owner._non_daemon_pending -= 1
+        if self._owner is not None:
+            if self.daemon:
+                self._owner._daemon_pending -= 1
+            else:
+                self._owner._non_daemon_pending -= 1
 
     @property
     def pending(self) -> bool:
@@ -80,6 +83,10 @@ class Simulator:
         sim.run()
     """
 
+    #: Heap sizes below this are never compacted (rebuild overhead
+    #: would dwarf the memory saved).
+    _COMPACT_MIN_HEAP = 64
+
     def __init__(self, start_time: float = 0.0):
         self._now = float(start_time)
         self._heap: List[EventHandle] = []
@@ -87,6 +94,7 @@ class Simulator:
         self._running = False
         self._event_count = 0
         self._non_daemon_pending = 0
+        self._daemon_pending = 0
 
     # ------------------------------------------------------------------
     # clock and introspection
@@ -102,8 +110,12 @@ class Simulator:
         return self._event_count
 
     def pending_events(self) -> int:
-        """Number of not-yet-cancelled events still in the queue."""
-        return sum(1 for ev in self._heap if ev.pending)
+        """Number of not-yet-cancelled events still in the queue.
+
+        O(1): maintained as a pair of counters (non-daemon + daemon)
+        updated on schedule, cancel, and fire.
+        """
+        return self._non_daemon_pending + self._daemon_pending
 
     # ------------------------------------------------------------------
     # scheduling
@@ -124,9 +136,31 @@ class Simulator:
         handle = EventHandle(float(time), priority, next(self._seq),
                              callback, daemon=daemon, owner=self)
         heapq.heappush(self._heap, handle)
-        if not daemon:
+        if daemon:
+            self._daemon_pending += 1
+        else:
             self._non_daemon_pending += 1
+        self._maybe_compact()
         return handle
+
+    def _maybe_compact(self) -> None:
+        """Rebuild the heap once lazily-cancelled events outnumber the
+        pending ones.
+
+        Lazy cancellation keeps :meth:`EventHandle.cancel` O(1), but a
+        workload that cancels far-future events faster than the clock
+        reaches them (migration-heavy runs rescheduling node wakeups)
+        would otherwise grow the heap without bound.  Dropping the dead
+        entries when they exceed half the heap keeps total compaction
+        work amortized O(1) per cancellation.
+        """
+        heap = self._heap
+        if len(heap) < self._COMPACT_MIN_HEAP:
+            return
+        if 2 * (self._non_daemon_pending + self._daemon_pending) >= len(heap):
+            return
+        self._heap = [ev for ev in heap if ev.pending]
+        heapq.heapify(self._heap)
 
     # ------------------------------------------------------------------
     # execution
@@ -142,7 +176,9 @@ class Simulator:
                 continue
             self._now = handle.time
             callback, handle.callback = handle.callback, None
-            if not handle.daemon:
+            if handle.daemon:
+                self._daemon_pending -= 1
+            else:
                 self._non_daemon_pending -= 1
             self._event_count += 1
             callback()

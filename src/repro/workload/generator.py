@@ -10,6 +10,7 @@ assigned a uniformly random home workstation among the 32 nodes.
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import List, Optional
 
 from repro.sim.rng import RandomStreams
@@ -85,12 +86,33 @@ class TraceGenerator:
         return value * (1.0 + rng.uniform(-fraction, fraction))
 
 
+@lru_cache(maxsize=32)
+def _cached_build(group: WorkloadGroup, index: int, seed: int,
+                  num_nodes: int) -> Trace:
+    return TraceGenerator(num_nodes=num_nodes, seed=seed).build(group, index)
+
+
 def build_trace(group: WorkloadGroup, index: int, seed: int = 0,
                 num_nodes: int = 32,
                 generator: Optional[TraceGenerator] = None) -> Trace:
-    """Convenience wrapper used by the experiment harness."""
-    gen = generator or TraceGenerator(num_nodes=num_nodes, seed=seed)
-    return gen.build(group, index)
+    """Convenience wrapper used by the experiment harness.
+
+    Default-parameter builds (no explicit ``generator``) are memoized:
+    a sweep that replays the same trace under several policies
+    generates it once.  The cached :class:`Trace` and its ``TraceJob``
+    records are treated as immutable by the whole experiment stack —
+    each run materializes fresh mutable :class:`~repro.cluster.job.Job`
+    objects via :meth:`Trace.build_jobs`, so sharing the trace between
+    runs (or returning it to several callers) is safe.
+    """
+    if generator is not None:
+        return generator.build(group, index)
+    return _cached_build(group, index, seed, num_nodes)
+
+
+def clear_trace_cache() -> None:
+    """Drop memoized traces (tests and long-lived sweep processes)."""
+    _cached_build.cache_clear()
 
 
 def program_mix(trace: Trace) -> dict:

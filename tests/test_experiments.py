@@ -131,3 +131,65 @@ class TestBlockingScenario:
                 < sum(big_base) / len(big_base))
         # adaptive switch-back: nothing stays reserved
         assert reco.cluster.reserved_nodes() == []
+
+
+class TestSubsampleValidation:
+    def test_unrealizable_scale_rejected(self):
+        """0.5 < scale < 1 would stride-round to the full trace;
+        that silent no-op must raise instead."""
+        trace = build_trace(WorkloadGroup.APP, 1)
+        with pytest.raises(ValueError):
+            subsample_trace(trace, 0.75)
+        with pytest.raises(ValueError):
+            subsample_trace(trace, 0.9)
+        # 0.51 rounds to stride 2 — a legitimate (if coarse) half-trace
+        assert subsample_trace(trace, 0.51).num_jobs < trace.num_jobs
+
+    def test_boundary_scales_ok(self):
+        trace = build_trace(WorkloadGroup.APP, 1)
+        assert subsample_trace(trace, 1.0) is trace
+        half = subsample_trace(trace, 0.5)
+        assert half.num_jobs == pytest.approx(trace.num_jobs / 2, abs=1)
+
+    def test_duration_not_scaled(self):
+        """Thinning keeps every k-th arrival at its original instant:
+        the trace still spans the full duration."""
+        trace = build_trace(WorkloadGroup.APP, 1)
+        quarter = subsample_trace(trace, 0.25)
+        assert quarter.duration_s == trace.duration_s
+
+
+class TestTraceCache:
+    def test_same_args_share_one_trace(self):
+        from repro.workload.generator import clear_trace_cache
+
+        clear_trace_cache()
+        a = build_trace(WorkloadGroup.APP, 2, seed=5)
+        b = build_trace(WorkloadGroup.APP, 2, seed=5)
+        assert a is b
+
+    def test_distinct_args_distinct_traces(self):
+        a = build_trace(WorkloadGroup.APP, 2, seed=5)
+        b = build_trace(WorkloadGroup.APP, 2, seed=6)
+        c = build_trace(WorkloadGroup.SPEC, 2, seed=5)
+        assert a is not b
+        assert a is not c
+
+    def test_explicit_generator_bypasses_cache(self):
+        from repro.workload.generator import TraceGenerator
+
+        gen = TraceGenerator(num_nodes=32, seed=5)
+        a = build_trace(WorkloadGroup.APP, 2, seed=5, generator=gen)
+        b = build_trace(WorkloadGroup.APP, 2, seed=5)
+        assert a is not b
+        assert [j.submit_time for j in a.jobs] == \
+            [j.submit_time for j in b.jobs]
+
+    def test_cached_trace_runs_are_independent(self):
+        """Two runs over the shared trace must not interfere: each
+        materializes fresh Job objects."""
+        a = run_experiment(WorkloadGroup.APP, 1, policy="g-loadsharing",
+                           scale=SCALE).summary
+        b = run_experiment(WorkloadGroup.APP, 1, policy="g-loadsharing",
+                           scale=SCALE).summary
+        assert a == b

@@ -171,3 +171,46 @@ class TestReport:
         assert "demo" in text
         assert "T-1" in text
         assert "1,234.5" in text
+
+
+class TestReservedNodeSeconds:
+    def make(self, time, num_reserved):
+        return ClusterSample(time=time, total_idle_memory_mb=0.0,
+                             jobs_per_node=(0,), num_reserved=num_reserved,
+                             pending_jobs=0)
+
+    def test_uniform_ticks_match_interval_product(self):
+        """With periodic sampling only, the integral equals
+        count x interval, as before."""
+        cluster = tiny_cluster()
+        collector = MetricsCollector(cluster, sample_interval_s=2.0)
+        collector.samples = [self.make(2.0, 1), self.make(4.0, 1),
+                             self.make(6.0, 3)]
+        assert collector.reserved_node_seconds() == pytest.approx(
+            1 * 2.0 + 1 * 2.0 + 3 * 2.0)
+
+    def test_manual_samples_integrate_actual_spacing(self):
+        """A manual sample() between ticks must refine the integral,
+        not be billed a full interval."""
+        cluster = tiny_cluster()
+        collector = MetricsCollector(cluster, sample_interval_s=2.0)
+        collector.samples = [self.make(2.0, 1), self.make(2.5, 2),
+                             self.make(4.0, 2)]
+        # [0,2]: 1 node; (2,2.5]: 2 nodes; (2.5,4]: 2 nodes
+        assert collector.reserved_node_seconds() == pytest.approx(
+            1 * 2.0 + 2 * 0.5 + 2 * 1.5)
+
+    def test_empty(self):
+        collector = MetricsCollector(tiny_cluster())
+        assert collector.reserved_node_seconds() == 0.0
+
+    def test_average_until_filter_single_pass(self):
+        """until= filtering must agree with the list-based definition."""
+        cluster = tiny_cluster(num_nodes=2, memory_mb=100.0)
+        collector = MetricsCollector(cluster, sample_interval_s=1.0)
+        cluster.nodes[0].add_job(job(work=100.0, demand=60.0))
+        cluster.sim.run(until=6.5)
+        expected = [s.total_idle_memory_mb for s in collector.samples
+                    if s.time <= 3.5]
+        assert collector.average_idle_memory_mb(until=3.5) == pytest.approx(
+            sum(expected) / len(expected))

@@ -218,3 +218,96 @@ class TestDaemonEvents:
         sim.run()
         assert "anchor" in fired
         assert 2.0 in fired
+
+
+class TestPendingEventsCounter:
+    """pending_events() is counter-backed (O(1)), so it must stay
+    consistent through every schedule/cancel/fire path."""
+
+    def test_counts_daemon_and_non_daemon(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None, daemon=True)
+        assert sim.pending_events() == 2
+
+    def test_decrements_on_fire(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None, daemon=True)
+        sim.schedule(1.5, lambda: None)
+        sim.run()  # stops once only the daemon remains
+        assert sim.pending_events() == 1
+
+    def test_decrements_on_daemon_cancel(self):
+        sim = Simulator()
+        handle = sim.schedule(1.0, lambda: None, daemon=True)
+        handle.cancel()
+        assert sim.pending_events() == 0
+
+    def test_matches_heap_scan_through_mixed_activity(self):
+        sim = Simulator()
+        handles = []
+        for i in range(50):
+            handles.append(sim.schedule(float(i + 1), lambda: None,
+                                        daemon=(i % 3 == 0)))
+        for handle in handles[::2]:
+            handle.cancel()
+        expected = sum(1 for ev in sim._heap if ev.pending)
+        assert sim.pending_events() == expected
+        sim.run(until=10.0)
+        expected = sum(1 for ev in sim._heap if ev.pending)
+        assert sim.pending_events() == expected
+
+
+class TestHeapCompaction:
+    """Lazily-cancelled events must not accumulate without bound."""
+
+    def test_cancelled_majority_is_compacted(self):
+        sim = Simulator()
+        handles = [sim.schedule(1000.0 + i, lambda: None)
+                   for i in range(500)]
+        for handle in handles:
+            handle.cancel()
+        # One live far-future event plus a new schedule triggers the
+        # rebuild: the dead 500 must be gone from the heap.
+        sim.schedule(1.0, lambda: None)
+        assert len(sim._heap) <= 2
+        assert sim.pending_events() == 1
+
+    def test_small_heaps_left_alone(self):
+        sim = Simulator()
+        handles = [sim.schedule(10.0 + i, lambda: None) for i in range(10)]
+        for handle in handles:
+            handle.cancel()
+        sim.schedule(1.0, lambda: None)
+        # below the compaction floor: lazy entries may linger
+        assert sim.pending_events() == 1
+
+    def test_compaction_preserves_order_and_results(self):
+        sim = Simulator()
+        fired = []
+        keep = []
+        for i in range(200):
+            handle = sim.schedule(float(i + 1),
+                                  lambda i=i: fired.append(i))
+            if i % 7 == 0:
+                keep.append(i)
+            else:
+                handle.cancel()
+        sim.run()
+        assert fired == keep
+
+    def test_compaction_bounds_heap_under_churn(self):
+        """Schedule-and-cancel churn (the migration-heavy pattern)
+        keeps the heap near the live-event count."""
+        sim = Simulator()
+        live = sim.schedule(1e9, lambda: None)  # keeps the run alive
+        previous = None
+        for i in range(10_000):
+            if previous is not None:
+                previous.cancel()
+            previous = sim.schedule(1e6 + i, lambda: None)
+        assert len(sim._heap) < 200
+        assert sim.pending_events() == 2
+        live.cancel()
+        previous.cancel()
