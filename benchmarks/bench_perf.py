@@ -4,14 +4,15 @@ Times the fixed quick-mode sweep serially and with worker processes,
 asserts the determinism invariant (parallel summaries identical to
 serial), and writes ``BENCH_perf.json`` at the repo root so the run
 leaves a comparable perf record behind.  ``REPRO_BENCH_JOBS``
-overrides the parallel worker count (default 4).
+overrides the parallel worker count (default 0 = one per available
+core, resolved against the CPU affinity mask).
 """
 
 import os
 
 from perf_harness import DEFAULT_OUTPUT, SWEEP_SCALE, run_harness
 
-JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "4"))
+JOBS = int(os.environ.get("REPRO_BENCH_JOBS", "0"))
 
 
 def test_perf_harness(benchmark):

@@ -1,7 +1,7 @@
 """Perf regression harness: time the quick-mode sweep and write
 ``BENCH_perf.json`` at the repo root.
 
-The harness measures three things on a fixed, seeded workload:
+The harness measures four things on a fixed, seeded workload:
 
 * **single-run throughput** — events/sec of one quick-mode run
   (SPEC trace 3 under G-Loadsharing), the canonical hot-path figure;
@@ -9,19 +9,28 @@ The harness measures three things on a fixed, seeded workload:
   (traces 1/3/5 x both headline policies) executed with ``jobs=1``;
 * **parallel sweep wall time** — the same sweep with ``--jobs``
   workers, verifying the summaries are identical to the serial ones
-  before reporting the speedup.
+  before reporting the speedup;
+* **cluster-size scaling** — SPEC trace 3 under the memory policy at
+  32 and 256 nodes with the candidate index on, plus 256 nodes with
+  the index off (the seed's full-rebuild path), verifying the indexed
+  and unindexed summaries are identical before reporting the speedup.
 
 ``BENCH_perf.json`` records those numbers plus the environment
 (cpu count, python version), giving every future PR a trajectory to
 compare against.  ``baseline`` carries the pre-change numbers measured
 on the same machine when this harness was introduced, so a regression
 in single-run events/sec is visible without digging through history.
+``--fail-below-ratio R`` additionally reads the *committed*
+``BENCH_perf.json`` before overwriting it and exits non-zero if the
+fresh single-run events/sec fall below ``R`` times the committed
+figure — the CI perf-smoke gate.
 
 Usage::
 
-    python benchmarks/perf_harness.py                 # jobs=4, quick scale
+    python benchmarks/perf_harness.py                 # jobs=auto, quick scale
     python benchmarks/perf_harness.py --jobs 8
     python benchmarks/perf_harness.py --output /tmp/perf.json
+    python benchmarks/perf_harness.py --fail-below-ratio 0.6
     make bench                                        # repo-root Makefile
 """
 
@@ -37,9 +46,13 @@ from typing import List, Optional
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), os.pardir, "src"))
 
-from repro.experiments.parallel import RunSpec, run_specs  # noqa: E402
-from repro.experiments.runner import run_experiment  # noqa: E402
-from repro.workload.generator import clear_trace_cache  # noqa: E402
+from repro.experiments.parallel import (  # noqa: E402
+    RunSpec,
+    default_jobs,
+    run_specs,
+)
+from repro.experiments.runner import default_config, run_experiment  # noqa: E402
+from repro.workload.generator import build_trace, clear_trace_cache  # noqa: E402
 from repro.workload.programs import WorkloadGroup  # noqa: E402
 
 REPO_ROOT = os.path.abspath(os.path.join(os.path.dirname(__file__),
@@ -61,6 +74,14 @@ BASELINE_PRE_CHANGE = {
     "note": ("measured at commit preceding the parallel-sweep/hot-path "
              "PR, same machine, same sweep shape"),
 }
+
+
+#: Cluster sizes for the scaling leg.  The memory policy is used
+#: because it scans the accepting-candidate order on every placement;
+#: G-Loadsharing short-circuits to the home node on an underloaded
+#: 256-node cluster, so it would not exercise the index at all.
+SCALE_BENCH_NODES = (32, 256)
+SCALE_BENCH_POLICY = "memory"
 
 
 def sweep_specs(scale: float = SWEEP_SCALE) -> List[RunSpec]:
@@ -98,12 +119,86 @@ def measure_sweep(jobs: int, scale: float = SWEEP_SCALE) -> dict:
             "summaries": summaries}
 
 
-def run_harness(jobs: int = 4, scale: float = SWEEP_SCALE,
-                output: Optional[str] = DEFAULT_OUTPUT) -> dict:
+def _timed_run(config, scale: float) -> dict:
+    """One timed memory-policy run of SPEC trace 3 on ``config``.
+
+    Trace generation is warmed (cached per topology) before the clock
+    starts, so the measurement is simulation time only.
+    """
+    build_trace(WorkloadGroup.SPEC, 3, seed=0,
+                num_nodes=config.num_nodes)
+    started = time.perf_counter()
+    result = run_experiment(WorkloadGroup.SPEC, 3,
+                            policy=SCALE_BENCH_POLICY, seed=0,
+                            scale=scale, config=config)
+    wall_s = time.perf_counter() - started
+    events = result.cluster.sim.event_count
+    return {
+        "wall_s": wall_s,
+        "events": events,
+        "events_per_s": events / wall_s if wall_s > 0 else 0.0,
+        "summary": result.summary,
+    }
+
+
+def measure_scale_bench(scale: float = SWEEP_SCALE) -> dict:
+    """Indexed vs unindexed throughput as the cluster grows.
+
+    The indexed and unindexed 256-node summaries must be identical —
+    the index is a pure optimization.
+    """
+    runs = {}
+    for nodes in SCALE_BENCH_NODES:
+        cfg = default_config(WorkloadGroup.SPEC).replace(num_nodes=nodes)
+        runs[f"nodes_{nodes}_indexed"] = _timed_run(cfg, scale)
+    big = SCALE_BENCH_NODES[-1]
+    cfg = default_config(WorkloadGroup.SPEC).replace(
+        num_nodes=big, indexed_selection=False)
+    runs[f"nodes_{big}_unindexed"] = _timed_run(cfg, scale)
+    if (runs[f"nodes_{big}_indexed"]["summary"]
+            != runs[f"nodes_{big}_unindexed"]["summary"]):
+        raise AssertionError(
+            "indexed and unindexed runs produced different summaries — "
+            "the candidate index changed scheduling behavior")
+    indexed_wall = runs[f"nodes_{big}_indexed"]["wall_s"]
+    unindexed_wall = runs[f"nodes_{big}_unindexed"]["wall_s"]
+    for entry in runs.values():
+        del entry["summary"]  # not JSON-serializable, equality checked
+    return {
+        "policy": SCALE_BENCH_POLICY,
+        "scale": scale,
+        "nodes": list(SCALE_BENCH_NODES),
+        "runs": runs,
+        "indexed_speedup_at_%d_nodes" % big: (
+            unindexed_wall / indexed_wall if indexed_wall > 0 else 0.0),
+        "summaries_identical": True,
+    }
+
+
+def resolve_jobs(requested: int) -> dict:
+    """Resolve ``--jobs`` against the CPU affinity mask.
+
+    ``0`` means one worker per *available* core (the affinity mask, not
+    the machine-wide count).  When only one core is available the
+    parallel leg is pointless — it runs serially with a note instead of
+    pretending fork overhead is a scheduling result.
+    """
+    effective = default_jobs() if requested == 0 else requested
+    note = None
+    if requested == 0 and effective == 1:
+        note = ("single available core (affinity mask); parallel leg "
+                "ran serially")
+    return {"requested": requested, "effective": effective, "note": note}
+
+
+def run_harness(jobs: int = 0, scale: float = SWEEP_SCALE,
+                output: Optional[str] = DEFAULT_OUTPUT,
+                scale_bench: bool = True) -> dict:
     """Measure, check determinism, and (optionally) write the report."""
+    resolved = resolve_jobs(jobs)
     single = measure_single_run(scale)
     serial = measure_sweep(1, scale)
-    parallel = measure_sweep(jobs, scale)
+    parallel = measure_sweep(resolved["effective"], scale)
     if parallel["summaries"] != serial["summaries"]:
         raise AssertionError(
             "parallel sweep summaries differ from the serial ones — "
@@ -128,11 +223,15 @@ def run_harness(jobs: int = 4, scale: float = SWEEP_SCALE,
         "single_run": single,
         "serial_sweep_wall_s": serial["wall_s"],
         "parallel_sweep_wall_s": parallel["wall_s"],
-        "parallel_jobs": jobs,
+        "requested_jobs": resolved["requested"],
+        "parallel_jobs": resolved["effective"],
+        "parallel_note": resolved["note"],
         "speedup": speedup,
         "deterministic": True,
         "baseline": BASELINE_PRE_CHANGE,
     }
+    if scale_bench:
+        report["scale_bench"] = measure_scale_bench(scale)
     if output:
         with open(output, "w") as stream:
             json.dump(report, stream, indent=2, sort_keys=True)
@@ -140,20 +239,40 @@ def run_harness(jobs: int = 4, scale: float = SWEEP_SCALE,
     return report
 
 
+def committed_events_per_s(path: str) -> Optional[float]:
+    """Single-run events/sec from an existing report, if readable."""
+    try:
+        with open(path) as stream:
+            prior = json.load(stream)
+        return float(prior["single_run"]["events_per_s"])
+    except (OSError, KeyError, TypeError, ValueError, json.JSONDecodeError):
+        return None
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Time the quick-mode sweep and write BENCH_perf.json.")
-    parser.add_argument("--jobs", type=int, default=4,
+    parser.add_argument("--jobs", type=int, default=0,
                         help="worker processes for the parallel leg "
-                             "(default 4; 0 = one per core)")
+                             "(default 0 = one per available core)")
     parser.add_argument("--scale", type=float, default=SWEEP_SCALE,
                         help="trace subsampling factor (default 0.25)")
     parser.add_argument("--output", default=DEFAULT_OUTPUT,
                         help="report path (default: repo-root "
                              "BENCH_perf.json)")
+    parser.add_argument("--no-scale-bench", action="store_true",
+                        help="skip the 32/256-node scaling leg")
+    parser.add_argument("--fail-below-ratio", type=float, default=None,
+                        metavar="R",
+                        help="exit non-zero if fresh single-run events/s "
+                             "is below R times the committed report's "
+                             "figure (CI regression gate)")
     args = parser.parse_args(argv)
+    committed = (committed_events_per_s(args.output)
+                 if args.fail_below_ratio is not None else None)
     report = run_harness(jobs=args.jobs, scale=args.scale,
-                         output=args.output)
+                         output=args.output,
+                         scale_bench=not args.no_scale_bench)
     single = report["single_run"]
     print(f"single run : {single['events']} events in "
           f"{single['wall_s']:.2f}s = {single['events_per_s']:,.0f} ev/s")
@@ -162,10 +281,35 @@ def main(argv: Optional[List[str]] = None) -> int:
           f"{report['parallel_sweep_wall_s']:.2f}s, "
           f"speedup {report['speedup']:.2f}x "
           f"(on {report['environment']['cpu_count']} cores)")
+    if report["parallel_note"]:
+        print(f"note       : {report['parallel_note']}")
+    if "scale_bench" in report:
+        bench = report["scale_bench"]
+        for name, entry in bench["runs"].items():
+            print(f"{name:22s}: {entry['events']} events in "
+                  f"{entry['wall_s']:.2f}s = "
+                  f"{entry['events_per_s']:,.0f} ev/s")
+        big = bench["nodes"][-1]
+        ratio = bench[f"indexed_speedup_at_{big}_nodes"]
+        print(f"index speedup at {big} nodes: {ratio:.1f}x "
+              f"(identical summaries)")
     base = report["baseline"]
     print(f"baseline   : {base['single_run_events_per_s']:,.0f} ev/s, "
           f"serial sweep {base['serial_sweep_wall_s']:.2f}s (pre-change)")
     print(f"[wrote {args.output}]")
+    if args.fail_below_ratio is not None:
+        if committed is None:
+            print("[no committed report to gate against; gate skipped]")
+        else:
+            floor = args.fail_below_ratio * committed
+            fresh = single["events_per_s"]
+            if fresh < floor:
+                print(f"PERF REGRESSION: {fresh:,.0f} ev/s is below "
+                      f"{args.fail_below_ratio:.0%} of the committed "
+                      f"{committed:,.0f} ev/s", file=sys.stderr)
+                return 1
+            print(f"[perf gate ok: {fresh:,.0f} >= "
+                  f"{args.fail_below_ratio:.0%} of {committed:,.0f} ev/s]")
     return 0
 
 

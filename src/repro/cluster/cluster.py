@@ -9,7 +9,7 @@ metric collectors subscribe to.
 
 from __future__ import annotations
 
-from typing import Callable, List, Optional
+from typing import Callable, List, Optional, Set
 
 from repro.cluster.config import ClusterConfig
 from repro.cluster.job import Job
@@ -51,7 +51,15 @@ class Cluster:
         self.directory = LoadInfoDirectory(
             self.sim, self.nodes,
             exchange_interval_s=self.config.load_exchange_interval_s,
+            incremental=self.config.indexed_selection,
         )
+        #: Ids of nodes whose cached fault rate / starvation currently
+        #: crosses the thrashing threshold, maintained from workstation
+        #: change notifications — monitors visit only this set instead
+        #: of scanning all N nodes every monitor period.
+        self.thrashing_nodes: Set[int] = set()
+        for node in self.nodes:
+            node.add_change_listener(self._track_thrashing)
         self.finished_jobs: List[Job] = []
         self._job_listeners: List[JobListener] = []
         self._node_listeners: List[NodeListener] = []
@@ -78,6 +86,12 @@ class Cluster:
         policies after placements/migrations)."""
         for listener in self._node_listeners:
             listener(node)
+
+    def _track_thrashing(self, node: Workstation) -> None:
+        if node.thrashing:
+            self.thrashing_nodes.add(node.node_id)
+        else:
+            self.thrashing_nodes.discard(node.node_id)
 
     # ------------------------------------------------------------------
     # cluster-wide queries

@@ -128,6 +128,15 @@ class ClusterConfig:
     network_ram: bool = False
     network_ram_service_ms: float = 1.0
 
+    # --- implementation switches ---------------------------------------
+    #: Use the incrementally maintained candidate index (load
+    #: directory orders + thrashing-set monitor) on the scheduling hot
+    #: path.  ``False`` falls back to the seed snapshot-rebuild-and-
+    #: sort selection and the all-nodes monitor scan — behaviorally
+    #: identical (pinned by tests) but O(N log N) per decision; kept
+    #: for the equivalence suite and the scale benchmark.
+    indexed_selection: bool = True
+
     # --- periodic activities -------------------------------------------
     #: Load index collection/distribution period (s); 0 = always fresh.
     load_exchange_interval_s: float = 1.0

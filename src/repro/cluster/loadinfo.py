@@ -10,12 +10,32 @@ period.  Schedulers *select* candidates from snapshots (possibly
 stale) and perform a live admission check at the chosen node, the way
 a real remote submission would.  A period of 0 disables staleness:
 every lookup reads the live node.
+
+Beyond the snapshot store, the directory incrementally maintains the
+two candidate orders the scheduling layer consumes on its hot path:
+
+* the **accepting order** — accepting nodes sorted by
+  ``(-idle_memory_mb, num_jobs, node_id)``, backing
+  ``candidates_by_idle_memory`` / ``find_migration_destination``;
+* the **load order** — all nodes sorted by ``(num_jobs, node_id)``,
+  backing the CPU-based policy.
+
+Each order is activated lazily on first use and then kept sorted:
+one exchange round updates only the nodes that actually changed since
+the previous round (workstations report changes through their
+change-listener hook), and in live mode (``exchange_interval_s == 0``)
+every node change updates the order in place (amortized O(log N)
+comparisons per update).  Reading an order is an O(1) cached-list
+lookup; ``order_version`` lets schedulers cache derived candidate
+views.  The orders reproduce exactly what sorting a fresh
+``snapshots()`` list would yield — a property pinned by tests.
 """
 
 from __future__ import annotations
 
+from bisect import bisect_left, insort
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Dict, List
+from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro.sim.engine import Simulator
 
@@ -25,7 +45,13 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 
 @dataclass(frozen=True)
 class NodeSnapshot:
-    """Published load state of one workstation."""
+    """Published load state of one workstation.
+
+    ``timestamp`` is the instant the snapshot was (re)published — for a
+    node that has not changed across exchange rounds this is the round
+    that last observed a change, since unchanged nodes are not
+    re-collected.
+    """
 
     node_id: int
     num_jobs: int
@@ -36,18 +62,73 @@ class NodeSnapshot:
     timestamp: float
 
 
+class _CandidateOrder:
+    """One incrementally maintained sorted order over the nodes.
+
+    Entries are key tuples ending in the node id, so the sort is total
+    and ``ids()`` can strip the keys.  ``update`` keeps the list sorted
+    under single-node changes via bisection; a node whose key is
+    ``None`` is excluded (used for the accepting filter).
+    """
+
+    __slots__ = ("entries", "key_of", "_ids")
+
+    def __init__(self, keyed: Iterable[Tuple[int, Optional[tuple]]]):
+        self.key_of: Dict[int, Optional[tuple]] = dict(keyed)
+        self.entries: List[tuple] = sorted(
+            key for key in self.key_of.values() if key is not None)
+        self._ids: Optional[List[int]] = None
+
+    def update(self, node_id: int, key: Optional[tuple]) -> bool:
+        """Move ``node_id`` to its new position; True if anything moved."""
+        old = self.key_of.get(node_id)
+        if old == key:
+            return False
+        if old is not None:
+            index = bisect_left(self.entries, old)
+            del self.entries[index]
+        if key is not None:
+            insort(self.entries, key)
+        self.key_of[node_id] = key
+        self._ids = None
+        return True
+
+    def ids(self) -> List[int]:
+        """Node ids in order (cached between changes)."""
+        if self._ids is None:
+            self._ids = [entry[-1] for entry in self.entries]
+        return self._ids
+
+
 class LoadInfoDirectory:
     """Periodically refreshed cluster-wide load information."""
 
     def __init__(self, sim: Simulator, nodes: List["Workstation"],
-                 exchange_interval_s: float = 1.0):
+                 exchange_interval_s: float = 1.0,
+                 incremental: bool = True):
         if exchange_interval_s < 0:
             raise ValueError("exchange_interval_s must be >= 0")
         self._sim = sim
         self._nodes = nodes
         self.exchange_interval_s = exchange_interval_s
+        #: When False every exchange round re-collects all N nodes,
+        #: reproducing the seed directory exactly (used by the
+        #: unindexed fallback so benchmarks compare real baselines).
+        self.incremental = incremental
         self._snapshots: Dict[int, NodeSnapshot] = {}
         self.refreshes = 0
+        #: Bumped whenever a maintained candidate order may have
+        #: changed; schedulers key cached candidate views on it.
+        self.order_version = 0
+        #: Accepting nodes by (-idle_memory_mb, num_jobs, node_id);
+        #: None until first queried (lazy activation).
+        self._accepting_order: Optional[_CandidateOrder] = None
+        #: All nodes by (num_jobs, node_id); None until first queried.
+        self._load_order: Optional[_CandidateOrder] = None
+        #: Nodes that changed since their snapshot was last collected.
+        self._dirty: Set[int] = set()
+        for node in nodes:
+            node.add_change_listener(self._node_changed)
         if exchange_interval_s > 0:
             self.refresh()
             self._schedule_next()
@@ -62,10 +143,29 @@ class LoadInfoDirectory:
         self._schedule_next()
 
     def refresh(self) -> None:
-        """Collect a fresh snapshot of every node (one exchange round)."""
+        """Collect fresh snapshots (one exchange round).
+
+        Only nodes that reported a change since their last collection
+        are re-snapshotted — an unchanged node's snapshot would come
+        out field-identical, so skipping it is free.
+        """
         self.refreshes += 1
-        for node in self._nodes:
-            self._snapshots[node.node_id] = self._snapshot_of(node)
+        if not self._snapshots or not self.incremental:
+            changed_nodes = self._nodes
+        elif self._dirty:
+            changed_nodes = [self._nodes[node_id]
+                             for node_id in sorted(self._dirty)]
+        else:
+            return
+        self._dirty.clear()
+        order_moved = False
+        for node in changed_nodes:
+            snap = self._snapshot_of(node)
+            self._snapshots[node.node_id] = snap
+            order_moved |= self._reposition(snap.node_id,
+                                            self._snapshot_keys(snap))
+        if order_moved:
+            self.order_version += 1
 
     def _snapshot_of(self, node: "Workstation") -> NodeSnapshot:
         return NodeSnapshot(
@@ -77,6 +177,76 @@ class LoadInfoDirectory:
             accepting=node.accepting,
             timestamp=self._sim.now,
         )
+
+    # ------------------------------------------------------------------
+    # candidate orders
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _snapshot_keys(snap: NodeSnapshot
+                       ) -> Tuple[Optional[tuple], tuple]:
+        accepting_key = ((-snap.idle_memory_mb, snap.num_jobs, snap.node_id)
+                         if snap.accepting else None)
+        return accepting_key, (snap.num_jobs, snap.node_id)
+
+    @staticmethod
+    def _live_keys(node: "Workstation") -> Tuple[Optional[tuple], tuple]:
+        num_jobs = node.committed_jobs
+        accepting_key = ((-node.idle_memory_mb, num_jobs, node.node_id)
+                         if node.accepting else None)
+        return accepting_key, (num_jobs, node.node_id)
+
+    def _keys_of(self, node: "Workstation") -> Tuple[Optional[tuple], tuple]:
+        """Key pair (accepting order, load order) under the directory's
+        staleness regime."""
+        if self.exchange_interval_s == 0:
+            return self._live_keys(node)
+        return self._snapshot_keys(self._snapshots[node.node_id])
+
+    def _reposition(self, node_id: int,
+                    keys: Tuple[Optional[tuple], tuple]) -> bool:
+        accepting_key, load_key = keys
+        moved = False
+        if self._accepting_order is not None:
+            moved |= self._accepting_order.update(node_id, accepting_key)
+        if self._load_order is not None:
+            moved |= self._load_order.update(node_id, load_key)
+        return moved
+
+    def _node_changed(self, node: "Workstation") -> None:
+        """Workstation change hook: live mode repositions the node in
+        the active orders immediately; periodic mode just marks it
+        dirty for the next exchange round."""
+        if self.exchange_interval_s == 0:
+            if self._reposition(node.node_id, self._live_keys(node)):
+                self.order_version += 1
+        else:
+            self._dirty.add(node.node_id)
+
+    def accepting_ids(self) -> List[int]:
+        """Accepting node ids ordered by (idle memory desc, job count
+        asc, node id) — identical to sorting a fresh ``snapshots()``
+        list, without the per-call rebuild."""
+        if self._accepting_order is None:
+            self._accepting_order = _CandidateOrder(
+                (node.node_id, self._keys_of(node)[0])
+                for node in self._nodes)
+            self.order_version += 1
+        return self._accepting_order.ids()
+
+    def load_order_ids(self) -> List[int]:
+        """All node ids ordered by (job count asc, node id)."""
+        if self._load_order is None:
+            self._load_order = _CandidateOrder(
+                (node.node_id, self._keys_of(node)[1])
+                for node in self._nodes)
+            self.order_version += 1
+        return self._load_order.ids()
+
+    def least_num_jobs(self) -> int:
+        """Smallest published job count across all nodes."""
+        self.load_order_ids()
+        entries = self._load_order.entries
+        return entries[0][0] if entries else 0
 
     # ------------------------------------------------------------------
     def snapshot(self, node_id: int) -> NodeSnapshot:

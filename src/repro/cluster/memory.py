@@ -22,8 +22,9 @@ On a node with user memory ``U`` and running jobs with current demands
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -59,6 +60,15 @@ class PagingModel:
         self.alpha = alpha
         self.max_fault_rate = max_fault_rate_per_cpu_s
         self.fault_service_s = fault_service_s
+        #: Exact memoization of :meth:`assess` keyed on the demand
+        #: vector and memory size: the assessment is a pure function of
+        #: its arguments and the (immutable-by-convention) model
+        #: parameters, so repeated node states skip the residency
+        #: water-filling entirely.  Bounded LRU; see ``assess``.
+        self._assess_cache: "OrderedDict[Tuple[Tuple[float, ...], float], PagingAssessment]" = OrderedDict()
+        self._assess_cache_max = 4096
+        self.assess_hits = 0
+        self.assess_misses = 0
         #: Thrashing-cliff exponent: the fault rate goes as
         #: ``missing_fraction ** curve_exponent``.  Working-set theory
         #: (Denning) says losing a few percent of the resident set
@@ -108,7 +118,29 @@ class PagingModel:
 
     def assess(self, demands: Sequence[float],
                user_memory_mb: float) -> PagingAssessment:
-        """Full paging assessment for one node."""
+        """Full paging assessment for one node.
+
+        Results are memoized on ``(tuple(demands), user_memory_mb)``
+        with a bounded LRU, so a cache hit returns the *same*
+        :class:`PagingAssessment` object: callers must treat the
+        assessment (including its lists) as immutable.
+        """
+        key = (tuple(demands), user_memory_mb)
+        cache = self._assess_cache
+        cached = cache.get(key)
+        if cached is not None:
+            cache.move_to_end(key)
+            self.assess_hits += 1
+            return cached
+        self.assess_misses += 1
+        assessment = self._assess_uncached(key[0], user_memory_mb)
+        cache[key] = assessment
+        if len(cache) > self._assess_cache_max:
+            cache.popitem(last=False)
+        return assessment
+
+    def _assess_uncached(self, demands: Sequence[float],
+                         user_memory_mb: float) -> PagingAssessment:
         resident = self.residency(demands, user_memory_mb)
         rates: List[float] = []
         stalls: List[float] = []

@@ -39,13 +39,20 @@ class Workstation:
         self.on_job_finished = on_job_finished
         self.user_memory_mb = config.user_memory_mb(spec)
 
+        #: Observers notified after every externally visible state
+        #: change (recompute, reservation flag, in-flight arrivals).
+        #: The cluster tracks its thrashing set through this, and the
+        #: load directory marks changed nodes dirty instead of
+        #: re-snapshotting all N nodes every exchange round.
+        self._change_listeners: List[Callable[["Workstation"], None]] = []
+
         #: Submissions/migrations blocked by a reservation (the paper's
         #: reservation flag) or by an overload condition.
-        self.reserved = False
+        self._reserved = False
         #: Jobs committed to this node but still in transit (remote
         #: submissions and migrations reserve their slot up front, so
         #: concurrent placements do not over-commit a node).
-        self.inbound_jobs = 0
+        self._inbound_jobs = 0
 
         self._running: List[Job] = []
         self._rates: List[float] = []
@@ -69,6 +76,36 @@ class Workstation:
         self.completed_jobs = 0
 
     # ------------------------------------------------------------------
+    # change notifications
+    # ------------------------------------------------------------------
+    def add_change_listener(self,
+                            listener: Callable[["Workstation"], None]) -> None:
+        """Subscribe to state changes of this node (see __init__)."""
+        self._change_listeners.append(listener)
+
+    def _notify_changed(self) -> None:
+        for listener in self._change_listeners:
+            listener(self)
+
+    @property
+    def reserved(self) -> bool:
+        return self._reserved
+
+    @reserved.setter
+    def reserved(self, value: bool) -> None:
+        self._reserved = value
+        self._notify_changed()
+
+    @property
+    def inbound_jobs(self) -> int:
+        return self._inbound_jobs
+
+    @inbound_jobs.setter
+    def inbound_jobs(self, value: int) -> None:
+        self._inbound_jobs = value
+        self._notify_changed()
+
+    # ------------------------------------------------------------------
     # queries (always consistent with the current instant)
     # ------------------------------------------------------------------
     @property
@@ -78,7 +115,7 @@ class Workstation:
     @property
     def committed_jobs(self) -> int:
         """Running jobs plus in-flight arrivals (slot accounting)."""
-        return len(self._running) + self.inbound_jobs
+        return len(self._running) + self._inbound_jobs
 
     @property
     def running_jobs(self) -> List[Job]:
@@ -215,7 +252,7 @@ class Workstation:
         on the progress rates, which depend back on them, so a short
         fixed-point iteration resolves the coupling.
         """
-        demands = [job.current_demand_mb for job in self._running]
+        demands = tuple(job.current_demand_mb for job in self._running)
         self._total_demand_cache = sum(demands)
         self._assessment = self._paging.assess(demands, self.user_memory_mb)
         lambdas = self._assessment.fault_rates_per_cpu_s
@@ -231,7 +268,7 @@ class Workstation:
         # (uncached I/O costs the configured penalty factor more).
         cache_wanted = sum(job.buffer_cache_mb for job in self._running)
         if cache_wanted > 0:
-            free = max(0.0, self.user_memory_mb - sum(demands))
+            free = max(0.0, self.user_memory_mb - self._total_demand_cache)
             cache_hit = min(1.0, free / cache_wanted)
             io_factor = 1.0 + self.config.uncached_io_penalty \
                 * (1.0 - cache_hit)
@@ -253,8 +290,15 @@ class Workstation:
                                          capacity_factor)
             faults_per_s = sum(r * lam for r, lam in zip(rates, lambdas))
             disk_util = min(0.99, faults_per_s * service)
-            inflation = min(max_inflation, 1.0 / (1.0 - disk_util))
-            capacity_factor = max(0.05, 1.0 - faults_per_s * overhead_s)
+            new_inflation = min(max_inflation, 1.0 / (1.0 - disk_util))
+            new_capacity = max(0.05, 1.0 - faults_per_s * overhead_s)
+            if new_inflation == inflation and new_capacity == capacity_factor:
+                # Exact fixed point: the next iteration would recompute
+                # identical stalls and rates, so the remaining passes
+                # are no-ops and the early exit is behavior-identical.
+                break
+            inflation = new_inflation
+            capacity_factor = new_capacity
         self._rates = rates
         self._fault_stalls = fault_stalls
         self._io_stalls = io_stalls
@@ -265,6 +309,7 @@ class Workstation:
         for job, lam in zip(self._running, lambdas):
             job.faulting = lam > 0.0
         self._schedule_next_event()
+        self._notify_changed()
 
     def _allocate_rates(self, speed: float, tax: float, stalls: list,
                         capacity_factor: float) -> list:

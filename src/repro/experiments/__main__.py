@@ -7,6 +7,7 @@ Usage::
     python -m repro.experiments table1 table2
     python -m repro.experiments figure1 --scale 0.25
     python -m repro.experiments figure1 --export-csv fig1.csv
+    python -m repro.experiments figure1 --nodes 256 --scale 0.1
     python -m repro.experiments scenario       # constructed blocking demo
     python -m repro.experiments heterogeneity  # §2.3/§6 extension
     python -m repro.experiments ablations --scale 0.25 --jobs 0
@@ -72,6 +73,10 @@ def main(argv: List[str] = None) -> int:
                         help="worker processes for sweep targets "
                              "(1 = serial, 0 = one per core); results "
                              "are identical at any N")
+    parser.add_argument("--nodes", type=int, default=None, metavar="N",
+                        help="override the cluster size for figure "
+                             "targets (traces are regenerated for the "
+                             "new topology)")
     parser.add_argument("--export-csv", metavar="PATH", default=None,
                         help="write figure comparison rows to CSV "
                              "(single figure target only)")
@@ -90,6 +95,8 @@ def main(argv: List[str] = None) -> int:
     figure_targets = [t for t in targets if t in ALL_FIGURES]
     if args.export_csv and len(figure_targets) != 1:
         parser.error("--export-csv needs exactly one figure target")
+    if args.nodes is not None and len(figure_targets) != len(targets):
+        parser.error("--nodes applies to figure targets only")
 
     for target in targets:
         started = time.time()
@@ -99,7 +106,7 @@ def main(argv: List[str] = None) -> int:
             print(render_table2())
         elif target in ALL_FIGURES:
             result = ALL_FIGURES[target](seed=args.seed, scale=args.scale,
-                                         jobs=args.jobs)
+                                         jobs=args.jobs, nodes=args.nodes)
             print(result.render())
             if args.chart:
                 for panel, rows in result.panels.items():

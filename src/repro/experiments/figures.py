@@ -64,9 +64,11 @@ def _run_figure(figure: str, group: WorkloadGroup,
                 seed: int = 0, scale: float = 1.0,
                 config: Optional[ClusterConfig] = None,
                 trace_indices: Optional[Sequence[int]] = None,
-                jobs: int = 1) -> FigureResult:
+                jobs: int = 1, nodes: Optional[int] = None) -> FigureResult:
     indices = list(trace_indices) if trace_indices else [1, 2, 3, 4, 5]
     cfg = config if config is not None else default_config(group)
+    if nodes is not None:
+        cfg = cfg.replace(num_nodes=nodes)
     specs = [RunSpec(group=group, trace_index=index, policy=policy,
                      seed=seed, scale=scale, config=cfg)
              for index in indices
@@ -90,7 +92,7 @@ def _run_figure(figure: str, group: WorkloadGroup,
 def figure1(seed: int = 0, scale: float = 1.0,
             config: Optional[ClusterConfig] = None,
             trace_indices: Optional[Sequence[int]] = None,
-            jobs: int = 1) -> FigureResult:
+            jobs: int = 1, nodes: Optional[int] = None) -> FigureResult:
     """Figure 1: total execution times and queuing times, group 1."""
     return _run_figure(
         "Figure 1", WorkloadGroup.SPEC,
@@ -99,13 +101,13 @@ def figure1(seed: int = 0, scale: float = 1.0,
         {"total execution time (s)": "spec_execution_time",
          "total queuing time (s)": "spec_queuing_time"},
         seed=seed, scale=scale, config=config, trace_indices=trace_indices,
-        jobs=jobs)
+        jobs=jobs, nodes=nodes)
 
 
 def figure2(seed: int = 0, scale: float = 1.0,
             config: Optional[ClusterConfig] = None,
             trace_indices: Optional[Sequence[int]] = None,
-            jobs: int = 1) -> FigureResult:
+            jobs: int = 1, nodes: Optional[int] = None) -> FigureResult:
     """Figure 2: average slowdowns and average idle memory volumes,
     group 1."""
     return _run_figure(
@@ -115,13 +117,13 @@ def figure2(seed: int = 0, scale: float = 1.0,
         {"average slowdown": "spec_slowdown",
          "average idle memory (MB)": "spec_idle_memory"},
         seed=seed, scale=scale, config=config, trace_indices=trace_indices,
-        jobs=jobs)
+        jobs=jobs, nodes=nodes)
 
 
 def figure3(seed: int = 0, scale: float = 1.0,
             config: Optional[ClusterConfig] = None,
             trace_indices: Optional[Sequence[int]] = None,
-            jobs: int = 1) -> FigureResult:
+            jobs: int = 1, nodes: Optional[int] = None) -> FigureResult:
     """Figure 3: total execution times and queuing times, group 2."""
     return _run_figure(
         "Figure 3", WorkloadGroup.APP,
@@ -130,13 +132,13 @@ def figure3(seed: int = 0, scale: float = 1.0,
         {"total execution time (s)": "app_execution_time",
          "total queuing time (s)": "app_queuing_time"},
         seed=seed, scale=scale, config=config, trace_indices=trace_indices,
-        jobs=jobs)
+        jobs=jobs, nodes=nodes)
 
 
 def figure4(seed: int = 0, scale: float = 1.0,
             config: Optional[ClusterConfig] = None,
             trace_indices: Optional[Sequence[int]] = None,
-            jobs: int = 1) -> FigureResult:
+            jobs: int = 1, nodes: Optional[int] = None) -> FigureResult:
     """Figure 4: average slowdowns and average job balance skews,
     group 2."""
     return _run_figure(
@@ -146,7 +148,7 @@ def figure4(seed: int = 0, scale: float = 1.0,
         {"average slowdown": "app_slowdown",
          "average job balance skew": "app_balance_skew"},
         seed=seed, scale=scale, config=config, trace_indices=trace_indices,
-        jobs=jobs)
+        jobs=jobs, nodes=nodes)
 
 
 ALL_FIGURES = {

@@ -91,7 +91,20 @@ def _worker(spec: RunSpec) -> Tuple[str, object]:
 
 
 def default_jobs() -> int:
-    """Worker count used for ``jobs=0`` / ``jobs=None`` (all cores)."""
+    """Worker count used for ``jobs=0`` / ``jobs=None``.
+
+    Uses the CPU affinity mask — the cores this process may actually
+    run on — rather than the machine-wide count: on an affinity-
+    restricted box (containers, ``taskset``) ``os.cpu_count()`` would
+    oversubscribe the few available cores and make the "parallel" leg
+    slower than serial.  Falls back to ``os.cpu_count()`` where
+    affinity is unsupported.
+    """
+    if hasattr(os, "sched_getaffinity"):
+        try:
+            return len(os.sched_getaffinity(0)) or 1
+        except OSError:  # pragma: no cover - platform quirk
+            pass
     return os.cpu_count() or 1
 
 

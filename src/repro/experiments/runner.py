@@ -122,14 +122,90 @@ def run_experiment(group: WorkloadGroup, trace_index: int,
                    policy: str = "g-loadsharing", seed: int = 0,
                    config: Optional[ClusterConfig] = None,
                    scale: float = 1.0,
-                   policy_kwargs: Optional[dict] = None
+                   policy_kwargs: Optional[dict] = None,
+                   nodes: Optional[int] = None
                    ) -> ExperimentResult:
-    """Generate the published trace and run it under ``policy``."""
+    """Generate the published trace and run it under ``policy``.
+
+    ``nodes`` overrides the cluster size (the trace is regenerated for
+    that topology, so home-node placement stays uniform).
+    """
     cfg = config if config is not None else default_config(group)
+    if nodes is not None:
+        cfg = cfg.replace(num_nodes=nodes)
     trace = build_trace(group, trace_index, seed=seed,
                         num_nodes=cfg.num_nodes)
     trace = subsample_trace(trace, scale)
     return run_trace(trace, policy, cfg, policy_kwargs)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Single-run CLI with an optional cProfile wrapper.
+
+    ``python -m repro.experiments.runner --trace 3 --scale 0.25
+    --profile`` prints the top-25 cumulative profile entries — the
+    tool used to find the scheduling-layer hot spots, shipped with the
+    repo so future regressions can be diagnosed the same way.
+    """
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments.runner",
+        description="Run one trace under one policy (optionally "
+                    "profiled).")
+    parser.add_argument("--group", choices=["spec", "app"], default="spec",
+                        help="workload group (default spec)")
+    parser.add_argument("--trace", type=int, default=3,
+                        help="trace index 1..5 (default 3)")
+    parser.add_argument("--policy", default="g-loadsharing",
+                        choices=sorted(POLICIES),
+                        help="scheduling policy (default g-loadsharing)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="trace subsampling factor in (0, 1]")
+    parser.add_argument("--nodes", type=int, default=None, metavar="N",
+                        help="override the cluster size")
+    parser.add_argument("--no-index", action="store_true",
+                        help="use the unindexed (seed) candidate-"
+                             "selection path")
+    parser.add_argument("--profile", action="store_true",
+                        help="wrap the run in cProfile and print the "
+                             "top-25 cumulative entries")
+    args = parser.parse_args(argv)
+
+    group = (WorkloadGroup.SPEC if args.group == "spec"
+             else WorkloadGroup.APP)
+    config = default_config(group)
+    if args.nodes is not None:
+        config = config.replace(num_nodes=args.nodes)
+    if args.no_index:
+        config = config.replace(indexed_selection=False)
+
+    def run() -> ExperimentResult:
+        return run_experiment(group, args.trace, policy=args.policy,
+                              seed=args.seed, scale=args.scale,
+                              config=config)
+
+    if args.profile:
+        import cProfile
+        import pstats
+
+        profiler = cProfile.Profile()
+        result = profiler.runcall(run)
+        stats = pstats.Stats(profiler)
+        stats.sort_stats("cumulative")
+        stats.print_stats(25)
+    else:
+        result = run()
+
+    summary = result.summary
+    events = result.cluster.sim.event_count
+    print(f"{summary.policy} on {summary.trace}: "
+          f"{summary.num_jobs} jobs over {config.num_nodes} nodes, "
+          f"makespan {summary.makespan_s:.1f}s, "
+          f"avg slowdown {summary.average_slowdown:.2f}, "
+          f"{summary.migrations} migrations, {events} events")
+    return 0
 
 
 def run_group(group: WorkloadGroup, policy: str, seed: int = 0,
@@ -150,3 +226,9 @@ def run_group(group: WorkloadGroup, policy: str, seed: int = 0,
                      scale=scale, config=config)
              for i in indices]
     return run_specs(specs, jobs=jobs)
+
+
+if __name__ == "__main__":  # pragma: no cover - CLI entry point
+    import sys
+
+    sys.exit(main())

@@ -68,6 +68,16 @@ class LoadSharingPolicy:
         self._wait_started: Dict[int, float] = {}
         self._last_migration: Dict[int, float] = {}
         self._draining = False
+        #: Candidate-selection path: the load directory's maintained
+        #: index (default) or the seed snapshot-sort (equivalence and
+        #: scale-benchmark fallback).
+        self._indexed = cluster.config.indexed_selection
+        #: Cached candidate view keyed on (directory order version,
+        #: exclude): one drain round over the pending queue — and any
+        #: burst of selections between directory updates — reuses a
+        #: single list instead of rebuilding per job.
+        self._candidates_key: Optional[tuple] = None
+        self._candidates_view: List[Workstation] = []
         cluster.on_node_changed(self._on_node_changed)
         self._schedule_monitor()
 
@@ -166,10 +176,29 @@ class LoadSharingPolicy:
                           self._monitor_tick, priority=3, daemon=True)
 
     def _monitor_tick(self) -> None:
-        for node in self.cluster.nodes:
-            self.stats.overload_checks += 1
-            if node.thrashing and not node.reserved:
-                self.handle_overload(node)
+        """Check overloaded nodes once per monitor period.
+
+        With the index enabled only the cluster's maintained thrashing
+        set is visited (ascending node id, live re-verified — a node
+        handled earlier in the tick may have stopped thrashing).  No
+        node can *become* thrashing synchronously inside a tick —
+        demand only arrives through delayed network events — so the
+        set always covers what a full scan would find.
+        """
+        if self._indexed:
+            hot = self.cluster.thrashing_nodes
+            if hot:
+                nodes = self.cluster.nodes
+                for node_id in sorted(hot):
+                    self.stats.overload_checks += 1
+                    node = nodes[node_id]
+                    if node.thrashing and not node.reserved:
+                        self.handle_overload(node)
+        else:
+            for node in self.cluster.nodes:
+                self.stats.overload_checks += 1
+                if node.thrashing and not node.reserved:
+                    self.handle_overload(node)
         self._schedule_monitor()
 
     def _migratable(self, job: Job) -> bool:
@@ -241,11 +270,29 @@ class LoadSharingPolicy:
                                   ) -> List[Workstation]:
         """Nodes ordered by (idle memory desc, job count asc) using the
         possibly stale load directory; each is live-verified by the
-        caller."""
-        snaps = [s for s in self.cluster.directory.snapshots()
-                 if s.accepting and s.node_id != exclude]
-        snaps.sort(key=lambda s: (-s.idle_memory_mb, s.num_jobs, s.node_id))
-        return [self._live_node(s.node_id) for s in snaps]
+        caller.
+
+        The default path reads the directory's maintained accepting
+        order (O(1) amortized; the returned list is cached per
+        directory version and must not be mutated).  The legacy path
+        (``indexed_selection=False``) rebuilds and sorts snapshots per
+        call — same result, pinned by the equivalence tests.
+        """
+        directory = self.cluster.directory
+        if not self._indexed:
+            snaps = [s for s in directory.snapshots()
+                     if s.accepting and s.node_id != exclude]
+            snaps.sort(key=lambda s: (-s.idle_memory_mb, s.num_jobs,
+                                      s.node_id))
+            return [self._live_node(s.node_id) for s in snaps]
+        ordered = directory.accepting_ids()
+        key = (directory.order_version, exclude)
+        if key != self._candidates_key:
+            nodes = self.cluster.nodes
+            self._candidates_view = [nodes[node_id] for node_id in ordered
+                                     if node_id != exclude]
+            self._candidates_key = key
+        return self._candidates_view
 
     def find_migration_destination(self, job: Job,
                                    exclude: Optional[int] = None

@@ -23,7 +23,19 @@ class CpuBasedPolicy(LoadSharingPolicy):
 
     def select_node(self, job: Job) -> Optional[Workstation]:
         home = self._live_node(job.home_node)
-        snaps = sorted(self.cluster.directory.snapshots(),
+        directory = self.cluster.directory
+        if self._indexed:
+            ordered = directory.load_order_ids()
+            # prefer the home node among equally loaded candidates
+            if home.has_free_slot and not home.reserved:
+                if home.num_running <= directory.least_num_jobs():
+                    return home
+            for node_id in ordered:
+                node = self._live_node(node_id)
+                if node.has_free_slot and not node.reserved:
+                    return node
+            return None
+        snaps = sorted(directory.snapshots(),
                        key=lambda s: (s.num_jobs, s.node_id))
         # prefer the home node among equally loaded candidates
         if home.has_free_slot and not home.reserved:

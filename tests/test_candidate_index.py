@@ -1,0 +1,124 @@
+"""Property tests for the directory's incremental candidate orders.
+
+The load-info directory maintains two sorted orders (accepting nodes
+by idle memory, all nodes by job count) incrementally — bisection
+updates driven by workstation change notifications.  The defining
+invariant is that after *any* sequence of cluster mutations, in both
+the periodic and the live (``exchange_interval_s == 0``) staleness
+regimes, the maintained orders are exactly what sorting a fresh
+``snapshots()`` list would produce.  Hypothesis drives random
+mutation sequences; the oracle is the from-scratch sort.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster import Cluster, ClusterConfig, WorkstationSpec
+from repro.cluster.job import Job, MemoryProfile
+
+NUM_NODES = 5
+
+#: One cluster mutation: (kind, node selector, argument).
+op_strategy = st.one_of(
+    st.tuples(st.just("add"), st.integers(0, NUM_NODES - 1),
+              st.floats(min_value=1.0, max_value=80.0)),
+    st.tuples(st.just("remove"), st.integers(0, NUM_NODES - 1),
+              st.integers(min_value=0, max_value=5)),
+    st.tuples(st.just("reserve"), st.integers(0, NUM_NODES - 1),
+              st.booleans()),
+    st.tuples(st.just("inbound"), st.integers(0, NUM_NODES - 1),
+              st.integers(min_value=0, max_value=3)),
+    st.tuples(st.just("advance"), st.integers(0, NUM_NODES - 1),
+              st.floats(min_value=0.1, max_value=2.5)),
+)
+
+ops_strategy = st.lists(op_strategy, min_size=1, max_size=25)
+interval_strategy = st.sampled_from([0.0, 1.0])
+
+
+def make_cluster(interval):
+    return Cluster(ClusterConfig(
+        num_nodes=NUM_NODES,
+        spec=WorkstationSpec(memory_mb=100.0, swap_mb=100.0),
+        kernel_reserved_mb=0.0,
+        load_exchange_interval_s=interval,
+    ))
+
+
+def apply_op(cluster, op):
+    kind, which, arg = op
+    node = cluster.nodes[which]
+    if kind == "add":
+        node.add_job(Job(program="t", cpu_work_s=50.0,
+                         memory=MemoryProfile.constant(arg),
+                         home_node=node.node_id))
+    elif kind == "remove":
+        if node.running_jobs:
+            node.remove_job(node.running_jobs[arg % len(node.running_jobs)])
+    elif kind == "reserve":
+        node.reserved = arg
+    elif kind == "inbound":
+        node.inbound_jobs = arg
+    elif kind == "advance":
+        cluster.sim.run(until=cluster.sim.now + arg)
+
+
+def expected_accepting_ids(directory):
+    snaps = [s for s in directory.snapshots() if s.accepting]
+    snaps.sort(key=lambda s: (-s.idle_memory_mb, s.num_jobs, s.node_id))
+    return [s.node_id for s in snaps]
+
+
+def expected_load_order_ids(directory):
+    snaps = sorted(directory.snapshots(),
+                   key=lambda s: (s.num_jobs, s.node_id))
+    return [s.node_id for s in snaps]
+
+
+def assert_orders_match(cluster):
+    directory = cluster.directory
+    assert directory.accepting_ids() == expected_accepting_ids(directory)
+    assert directory.load_order_ids() == expected_load_order_ids(directory)
+    snaps = directory.snapshots()
+    assert directory.least_num_jobs() == min(s.num_jobs for s in snaps)
+
+
+@settings(max_examples=60, deadline=None)
+@given(interval=interval_strategy, ops=ops_strategy)
+def test_orders_match_fresh_sort_after_every_mutation(interval, ops):
+    """Continuously queried orders stay identical to the oracle sort
+    (exercises the incremental-update path after every mutation)."""
+    cluster = make_cluster(interval)
+    assert_orders_match(cluster)  # activates the orders up front
+    for op in ops:
+        apply_op(cluster, op)
+        assert_orders_match(cluster)
+
+
+@settings(max_examples=60, deadline=None)
+@given(interval=interval_strategy, ops=ops_strategy)
+def test_orders_match_fresh_sort_on_late_activation(interval, ops):
+    """Orders first queried *after* a mutation burst still match the
+    oracle (exercises lazy activation from accumulated state)."""
+    cluster = make_cluster(interval)
+    for op in ops:
+        apply_op(cluster, op)
+    assert_orders_match(cluster)
+    # ... and keep matching once active.
+    for op in ops[: len(ops) // 2]:
+        apply_op(cluster, op)
+    assert_orders_match(cluster)
+
+
+@settings(max_examples=30, deadline=None)
+@given(ops=ops_strategy)
+def test_order_version_only_advances(ops):
+    """``order_version`` is monotonic, so schedulers can key caches
+    on it without missing an order change."""
+    cluster = make_cluster(0.0)
+    directory = cluster.directory
+    directory.accepting_ids()
+    seen = directory.order_version
+    for op in ops:
+        apply_op(cluster, op)
+        assert directory.order_version >= seen
+        seen = directory.order_version

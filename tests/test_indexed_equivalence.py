@@ -1,0 +1,59 @@
+"""The candidate index is a pure optimization — behavior pinned here.
+
+``indexed_selection=False`` runs the seed's sorted-snapshot selection
+and full-rebuild exchange rounds; ``True`` (the default) runs the
+incremental index.  For every policy that consults the directory, both
+paths must produce an *identical* :class:`RunSummary` — same
+placements, migrations, timings — in the periodic and live staleness
+regimes.  Any divergence means the index changed scheduling decisions,
+not just their cost.
+"""
+
+import pytest
+
+from repro.experiments.runner import default_config, run_experiment
+from repro.workload.programs import WorkloadGroup
+
+#: Policies whose selection logic touches the candidate orders.
+POLICIES = ["cpu", "memory", "g-loadsharing", "v-reconfiguration",
+            "suspension"]
+
+
+def summary_for(policy, indexed, interval=None):
+    cfg = default_config(WorkloadGroup.SPEC).replace(
+        indexed_selection=indexed)
+    if interval is not None:
+        cfg = cfg.replace(load_exchange_interval_s=interval)
+    result = run_experiment(WorkloadGroup.SPEC, 3, policy=policy,
+                            seed=0, scale=0.1, config=cfg)
+    return result.summary, result.cluster.sim.event_count
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_indexed_matches_legacy_periodic(policy):
+    indexed, indexed_events = summary_for(policy, True)
+    legacy, legacy_events = summary_for(policy, False)
+    assert indexed == legacy
+    assert indexed_events == legacy_events
+
+
+@pytest.mark.parametrize("policy", ["g-loadsharing", "memory", "cpu"])
+def test_indexed_matches_legacy_live(policy):
+    """Live mode (interval 0) repositions per node change instead of
+    per exchange round — still byte-identical."""
+    indexed, indexed_events = summary_for(policy, True, interval=0.0)
+    legacy, legacy_events = summary_for(policy, False, interval=0.0)
+    assert indexed == legacy
+    assert indexed_events == legacy_events
+
+
+def test_larger_cluster_equivalence():
+    """The 256-node scale-bench comparison is valid only if both paths
+    agree there too (smaller stand-in kept test-suite fast)."""
+    cfg_indexed = default_config(WorkloadGroup.SPEC).replace(num_nodes=96)
+    cfg_legacy = cfg_indexed.replace(indexed_selection=False)
+    indexed = run_experiment(WorkloadGroup.SPEC, 3, policy="memory",
+                             seed=0, scale=0.1, config=cfg_indexed).summary
+    legacy = run_experiment(WorkloadGroup.SPEC, 3, policy="memory",
+                            seed=0, scale=0.1, config=cfg_legacy).summary
+    assert indexed == legacy
