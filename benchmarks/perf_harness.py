@@ -1,7 +1,7 @@
 """Perf regression harness: time the quick-mode sweep and write
 ``BENCH_perf.json`` at the repo root.
 
-The harness measures four things on a fixed, seeded workload:
+The harness measures five things on a fixed, seeded workload:
 
 * **single-run throughput** — events/sec of one quick-mode run
   (SPEC trace 3 under G-Loadsharing), the canonical hot-path figure;
@@ -13,7 +13,12 @@ The harness measures four things on a fixed, seeded workload:
 * **cluster-size scaling** — SPEC trace 3 under the memory policy at
   32 and 256 nodes with the candidate index on, plus 256 nodes with
   the index off (the seed's full-rebuild path), verifying the indexed
-  and unindexed summaries are identical before reporting the speedup.
+  and unindexed summaries are identical before reporting the speedup;
+* **instrumentation overhead** — the single run repeated with a
+  metrics-only obs session attached (see :mod:`repro.obs`), verifying
+  the summaries are identical modulo the ``obs.*`` keys and reporting
+  the obs-on/obs-off overhead factor (gated in CI via
+  ``--max-obs-overhead-factor``).
 
 ``BENCH_perf.json`` records those numbers plus the environment
 (cpu count, python version), giving every future PR a trajectory to
@@ -109,6 +114,51 @@ def measure_single_run(scale: float = SWEEP_SCALE) -> dict:
     }
 
 
+def measure_obs_bench(scale: float = SWEEP_SCALE) -> dict:
+    """Instrumentation overhead: the single-run measurement repeated
+    with a metrics-only ObsSession attached.
+
+    Checks the determinism invariant (obs must not change scheduling:
+    the instrumented summary equals the plain one once the ``obs.*``
+    keys are stripped) and reports the overhead factor
+    ``events_per_s(off) / events_per_s(on)``.
+    """
+    import dataclasses
+
+    from repro.obs.session import EXTRA_PREFIX, ObsSession
+
+    off = measure_single_run(scale)
+    plain = run_experiment(WorkloadGroup.SPEC, 3, policy="g-loadsharing",
+                           seed=0, scale=scale)
+    obs = ObsSession(record_events=False, run_label="obs-bench")
+    started = time.perf_counter()
+    result = run_experiment(WorkloadGroup.SPEC, 3, policy="g-loadsharing",
+                            seed=0, scale=scale, obs=obs)
+    wall_s = time.perf_counter() - started
+    events = result.cluster.sim.event_count
+    stripped = dataclasses.replace(
+        result.summary,
+        extra={key: value for key, value in result.summary.extra.items()
+               if not key.startswith(EXTRA_PREFIX)})
+    if stripped != plain.summary:
+        raise AssertionError(
+            "instrumented run produced a different summary — "
+            "observability changed scheduling behavior")
+    on = {
+        "wall_s": wall_s,
+        "events": events,
+        "events_per_s": events / wall_s if wall_s > 0 else 0.0,
+    }
+    factor = (off["events_per_s"] / on["events_per_s"]
+              if on["events_per_s"] > 0 else 0.0)
+    return {
+        "obs_off": off,
+        "obs_on": on,
+        "overhead_factor": factor,
+        "summaries_identical_modulo_obs": True,
+    }
+
+
 def measure_sweep(jobs: int, scale: float = SWEEP_SCALE) -> dict:
     """Wall seconds for the quick-mode sweep at ``jobs`` workers."""
     specs = sweep_specs(scale)
@@ -193,7 +243,8 @@ def resolve_jobs(requested: int) -> dict:
 
 def run_harness(jobs: int = 0, scale: float = SWEEP_SCALE,
                 output: Optional[str] = DEFAULT_OUTPUT,
-                scale_bench: bool = True) -> dict:
+                scale_bench: bool = True,
+                obs_bench: bool = True) -> dict:
     """Measure, check determinism, and (optionally) write the report."""
     resolved = resolve_jobs(jobs)
     single = measure_single_run(scale)
@@ -232,6 +283,8 @@ def run_harness(jobs: int = 0, scale: float = SWEEP_SCALE,
     }
     if scale_bench:
         report["scale_bench"] = measure_scale_bench(scale)
+    if obs_bench:
+        report["obs_bench"] = measure_obs_bench(scale)
     if output:
         with open(output, "w") as stream:
             json.dump(report, stream, indent=2, sort_keys=True)
@@ -262,17 +315,28 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "BENCH_perf.json)")
     parser.add_argument("--no-scale-bench", action="store_true",
                         help="skip the 32/256-node scaling leg")
+    parser.add_argument("--no-obs-bench", action="store_true",
+                        help="skip the obs-off/obs-on overhead leg")
     parser.add_argument("--fail-below-ratio", type=float, default=None,
                         metavar="R",
                         help="exit non-zero if fresh single-run events/s "
                              "is below R times the committed report's "
                              "figure (CI regression gate)")
+    parser.add_argument("--max-obs-overhead-factor", type=float,
+                        default=None, metavar="F",
+                        help="exit non-zero if the obs-on run is more "
+                             "than F times slower than obs-off (CI "
+                             "instrumentation-overhead gate)")
     args = parser.parse_args(argv)
+    if args.max_obs_overhead_factor is not None and args.no_obs_bench:
+        parser.error("--max-obs-overhead-factor needs the obs bench; "
+                     "drop --no-obs-bench")
     committed = (committed_events_per_s(args.output)
                  if args.fail_below_ratio is not None else None)
     report = run_harness(jobs=args.jobs, scale=args.scale,
                          output=args.output,
-                         scale_bench=not args.no_scale_bench)
+                         scale_bench=not args.no_scale_bench,
+                         obs_bench=not args.no_obs_bench)
     single = report["single_run"]
     print(f"single run : {single['events']} events in "
           f"{single['wall_s']:.2f}s = {single['events_per_s']:,.0f} ev/s")
@@ -293,6 +357,12 @@ def main(argv: Optional[List[str]] = None) -> int:
         ratio = bench[f"indexed_speedup_at_{big}_nodes"]
         print(f"index speedup at {big} nodes: {ratio:.1f}x "
               f"(identical summaries)")
+    if "obs_bench" in report:
+        bench = report["obs_bench"]
+        print(f"obs        : off {bench['obs_off']['events_per_s']:,.0f} "
+              f"ev/s, on {bench['obs_on']['events_per_s']:,.0f} ev/s, "
+              f"overhead {bench['overhead_factor']:.2f}x "
+              f"(identical summaries modulo obs.*)")
     base = report["baseline"]
     print(f"baseline   : {base['single_run_events_per_s']:,.0f} ev/s, "
           f"serial sweep {base['serial_sweep_wall_s']:.2f}s (pre-change)")
@@ -310,6 +380,16 @@ def main(argv: Optional[List[str]] = None) -> int:
                 return 1
             print(f"[perf gate ok: {fresh:,.0f} >= "
                   f"{args.fail_below_ratio:.0%} of {committed:,.0f} ev/s]")
+    if args.max_obs_overhead_factor is not None:
+        factor = report["obs_bench"]["overhead_factor"]
+        if factor > args.max_obs_overhead_factor:
+            print(f"OBS OVERHEAD REGRESSION: instrumented run is "
+                  f"{factor:.2f}x slower than obs-off, above the "
+                  f"{args.max_obs_overhead_factor:.2f}x gate",
+                  file=sys.stderr)
+            return 1
+        print(f"[obs gate ok: {factor:.2f}x <= "
+              f"{args.max_obs_overhead_factor:.2f}x]")
     return 0
 
 

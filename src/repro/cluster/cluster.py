@@ -17,6 +17,7 @@ from repro.cluster.loadinfo import LoadInfoDirectory
 from repro.cluster.memory import PagingModel
 from repro.cluster.network import Network
 from repro.cluster.workstation import Workstation
+from repro.obs.bus import EventBus
 from repro.sim.engine import Simulator
 
 JobListener = Callable[[Job, Workstation], None]
@@ -27,9 +28,14 @@ class Cluster:
     """A simulated cluster of workstations."""
 
     def __init__(self, config: Optional[ClusterConfig] = None,
-                 sim: Optional[Simulator] = None):
+                 sim: Optional[Simulator] = None,
+                 obs: Optional[EventBus] = None):
         self.config = config if config is not None else ClusterConfig()
         self.sim = sim if sim is not None else Simulator()
+        #: Instrumentation bus for this cluster's run.  All channels
+        #: are disabled until someone subscribes (see repro.obs).
+        self.obs = obs if obs is not None else EventBus()
+        self.sim.obs_channel = self.obs.channel("sim.event")
         self.paging = PagingModel(
             alpha=self.config.residency_alpha,
             max_fault_rate_per_cpu_s=self.config.max_fault_rate_per_cpu_s,
@@ -48,10 +54,14 @@ class Cluster:
             remote_submission_cost_s=self.config.remote_submission_cost_s,
             contention=self.config.network_contention,
         )
+        fault_channel = self.obs.channel("memory.fault")
+        for node in self.nodes:
+            node.obs_fault = fault_channel
         self.directory = LoadInfoDirectory(
             self.sim, self.nodes,
             exchange_interval_s=self.config.load_exchange_interval_s,
             incremental=self.config.indexed_selection,
+            obs=self.obs.channel("loadinfo.exchange"),
         )
         #: Ids of nodes whose cached fault rate / starvation currently
         #: crosses the thrashing threshold, maintained from workstation

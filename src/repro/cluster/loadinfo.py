@@ -37,6 +37,7 @@ from bisect import bisect_left, insort
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.obs.bus import NULL_CHANNEL, Channel
 from repro.sim.engine import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -105,11 +106,14 @@ class LoadInfoDirectory:
 
     def __init__(self, sim: Simulator, nodes: List["Workstation"],
                  exchange_interval_s: float = 1.0,
-                 incremental: bool = True):
+                 incremental: bool = True,
+                 obs: Optional[Channel] = None):
         if exchange_interval_s < 0:
             raise ValueError("exchange_interval_s must be >= 0")
         self._sim = sim
         self._nodes = nodes
+        #: ``loadinfo.exchange`` obs channel (disabled by default).
+        self.obs = obs if obs is not None else NULL_CHANNEL
         self.exchange_interval_s = exchange_interval_s
         #: When False every exchange round re-collects all N nodes,
         #: reproducing the seed directory exactly (used by the
@@ -166,6 +170,11 @@ class LoadInfoDirectory:
                                             self._snapshot_keys(snap))
         if order_moved:
             self.order_version += 1
+        obs = self.obs
+        if obs.enabled:
+            obs.emit(self._sim.now, "exchange",
+                     refreshed=len(changed_nodes),
+                     order_moved=order_moved, round=self.refreshes)
 
     def _snapshot_of(self, node: "Workstation") -> NodeSnapshot:
         return NodeSnapshot(

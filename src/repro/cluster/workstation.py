@@ -20,6 +20,7 @@ from repro.cluster.config import ClusterConfig, WorkstationSpec
 from repro.cluster.cpu import progress_rates
 from repro.cluster.job import Job, JobState
 from repro.cluster.memory import PagingAssessment, PagingModel
+from repro.obs.bus import NULL_CHANNEL
 from repro.sim.engine import EventHandle, Simulator
 
 _EPS = 1e-9
@@ -74,6 +75,11 @@ class Workstation:
         # Diagnostics
         self.busy_cpu_s = 0.0
         self.completed_jobs = 0
+
+        #: ``memory.fault`` obs channel (thrashing transitions); the
+        #: owning cluster points this at its bus.
+        self.obs_fault = NULL_CHANNEL
+        self._was_thrashing = False
 
     # ------------------------------------------------------------------
     # change notifications
@@ -308,6 +314,16 @@ class Workstation:
             stall >= 1.0 for stall in fault_stalls)
         for job, lam in zip(self._running, lambdas):
             job.faulting = lam > 0.0
+        obs = self.obs_fault
+        if obs.enabled:
+            thrash = self.thrashing
+            if thrash != self._was_thrashing:
+                self._was_thrashing = thrash
+                obs.emit(self._sim.now,
+                         "thrash-on" if thrash else "thrash-off",
+                         node=self.node_id,
+                         fault_rate_per_s=self._fault_rate_cache,
+                         jobs=len(self._running))
         self._schedule_next_event()
         self._notify_changed()
 

@@ -99,6 +99,7 @@ class VReconfiguration(GLoadSharing):
         self._blocked_streak: dict = {}
         self._last_blocked_at: dict = {}
         self._backoff_until = 0.0
+        self._obs_reserve = cluster.obs.channel("reconfig.reservation")
 
     # ------------------------------------------------------------------
     # the reconfiguration routine
@@ -130,9 +131,15 @@ class VReconfiguration(GLoadSharing):
         # Activation condition: accumulated idle memory must exceed the
         # average user memory of a workstation (§2.1, §2.3).
         idle = self.cluster.total_idle_memory_mb(exclude_reserved=True)
-        if idle <= self.cluster.average_user_memory_mb():
+        threshold = self.cluster.average_user_memory_mb()
+        if idle <= threshold:
             self.stats.extra["activation_skipped"] = (
                 self.stats.extra.get("activation_skipped", 0) + 1)
+            obs = self._obs_block
+            if obs.enabled:
+                obs.emit(self.sim.now, "activation-skipped",
+                         node=node.node_id, idle_memory_mb=idle,
+                         threshold_mb=threshold)
             return
         candidate = self._reserve_a_workstation(
             exclude=node.node_id, needed_mb=job.current_demand_mb)
@@ -245,6 +252,17 @@ class VReconfiguration(GLoadSharing):
         return best
 
     def _cancel_with_backoff(self, reservation: Reservation) -> None:
+        """Adaptive cancellation: blocking disappeared during the
+        reserving period, so release the node and hold off on new
+        reservations for the backoff window."""
+        self.stats.extra["backoff_cancellations"] = (
+            self.stats.extra.get("backoff_cancellations", 0) + 1)
+        obs = self._obs_reserve
+        if obs.enabled:
+            obs.emit(self.sim.now, "backoff-cancel",
+                     node=reservation.node.node_id,
+                     reservation=reservation.reservation_id,
+                     backoff_until=self.sim.now + self.reservation_backoff_s)
         self.reservations.cancel(reservation)
         self._backoff_until = self.sim.now + self.reservation_backoff_s
 

@@ -121,6 +121,7 @@ class ReservationManager:
         self._by_node: Dict[int, Reservation] = {}
         self.history: List[Reservation] = []
         self.timeline: List[ReservationEvent] = []
+        self._obs = cluster.obs.channel("reconfig.reservation")
         #: Fired when a reserving period completes: callback(reservation).
         self.on_ready: Optional[Callable[[Reservation], None]] = None
         cluster.on_job_finished(self._job_finished)
@@ -251,7 +252,14 @@ class ReservationManager:
 
     def _log(self, kind: str, reservation: Reservation,
              job_id: Optional[int] = None) -> None:
+        now = self.cluster.sim.now
         self.timeline.append(ReservationEvent(
-            time=self.cluster.sim.now, kind=kind,
+            time=now, kind=kind,
             node_id=reservation.node.node_id,
             reservation_id=reservation.reservation_id, job_id=job_id))
+        obs = self._obs
+        if obs.enabled:
+            obs.emit(now, kind, node=reservation.node.node_id,
+                     reservation=reservation.reservation_id, job=job_id,
+                     needed_mb=reservation.needed_mb,
+                     mode=reservation.mode.value)

@@ -12,6 +12,8 @@ Usage::
     python -m repro.experiments heterogeneity  # §2.3/§6 extension
     python -m repro.experiments ablations --scale 0.25 --jobs 0
     python -m repro.experiments figure3 --seed 7 --chart
+    python -m repro.experiments figure1 --obs --jobs 4   # sweep telemetry
+    python -m repro.experiments scenario --trace-out scenario.trace.json
 """
 
 from __future__ import annotations
@@ -21,6 +23,7 @@ import sys
 import time
 from typing import List
 
+from repro.experiments import parallel
 from repro.experiments.ablations import ALL_ABLATIONS
 from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.heterogeneity import run_heterogeneity_experiment
@@ -31,15 +34,17 @@ from repro.experiments.scenario import (
 from repro.experiments.tables import render_table1, render_table2
 from repro.metrics.export import figure_to_csv
 from repro.metrics.report import percentage_reduction, render_bar_chart
+from repro.obs.session import ObsSession
 from repro.workload.programs import WorkloadGroup
 
 TARGETS = (["table1", "table2"] + sorted(ALL_FIGURES)
            + ["scenario", "heterogeneity", "ablations"])
 
 
-def _run_scenario() -> None:
+def _run_scenario(obs_session=None, trace_out=None, log_json=None,
+                  obs_metrics=None) -> None:
     base = run_blocking_scenario("g-loadsharing")
-    reco = run_blocking_scenario("v-reconfiguration")
+    reco = run_blocking_scenario("v-reconfiguration", obs=obs_session)
     big_base = large_job_slowdowns(base)
     big_reco = large_job_slowdowns(reco)
     print("Constructed blocking scenario (32 nodes):")
@@ -57,6 +62,16 @@ def _run_scenario() -> None:
     print(f"  reservations={reco.summary.extra.get('reservations', 0)} "
           f"rescues="
           f"{reco.summary.extra.get('reconfiguration_migrations', 0)}")
+    if obs_session is not None:
+        if trace_out:
+            obs_session.write_trace(trace_out)
+            print(f"[wrote Perfetto trace {trace_out}]")
+        if log_json:
+            count = obs_session.write_log(log_json)
+            print(f"[wrote {count} JSONL events to {log_json}]")
+        if obs_metrics:
+            obs_session.write_metrics(obs_metrics)
+            print(f"[wrote metrics snapshot {obs_metrics}]")
 
 
 def main(argv: List[str] = None) -> int:
@@ -82,6 +97,21 @@ def main(argv: List[str] = None) -> int:
                              "(single figure target only)")
     parser.add_argument("--chart", action="store_true",
                         help="also render ASCII bar charts for figures")
+    parser.add_argument("--obs", action="store_true",
+                        help="instrument runs: per-run obs metrics, a "
+                             "live sweep progress line, and a post-"
+                             "sweep timing table")
+    parser.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="write a Chrome trace-event JSON of the "
+                             "scenario's V-Reconfiguration run (open "
+                             "in https://ui.perfetto.dev; scenario "
+                             "target only)")
+    parser.add_argument("--log-json", metavar="PATH", default=None,
+                        help="write the scenario run's structured "
+                             "JSONL event log (scenario target only)")
+    parser.add_argument("--obs-metrics", metavar="PATH", default=None,
+                        help="write the scenario run's metrics "
+                             "snapshot as JSON (scenario target only)")
     args = parser.parse_args(argv)
 
     targets = list(args.targets)
@@ -97,6 +127,15 @@ def main(argv: List[str] = None) -> int:
         parser.error("--export-csv needs exactly one figure target")
     if args.nodes is not None and len(figure_targets) != len(targets):
         parser.error("--nodes applies to figure targets only")
+    if (args.trace_out or args.log_json or args.obs_metrics) \
+            and "scenario" not in targets:
+        parser.error("--trace-out/--log-json/--obs-metrics record the "
+                     "scenario target; add 'scenario' to the targets")
+
+    if args.obs:
+        parallel.set_obs_default(True)
+        parallel.enable_progress()
+        parallel.pop_sweep_timings()  # start the buffer clean
 
     for target in targets:
         started = time.time()
@@ -119,7 +158,16 @@ def main(argv: List[str] = None) -> int:
                 figure_to_csv(result, target=args.export_csv)
                 print(f"[wrote {args.export_csv}]")
         elif target == "scenario":
-            _run_scenario()
+            obs_session = None
+            if args.obs or args.trace_out or args.log_json \
+                    or args.obs_metrics:
+                obs_session = ObsSession(
+                    record_events=bool(args.trace_out or args.log_json),
+                    run_label="scenario v-reconfiguration")
+            _run_scenario(obs_session=obs_session,
+                          trace_out=args.trace_out,
+                          log_json=args.log_json,
+                          obs_metrics=args.obs_metrics)
         elif target == "heterogeneity":
             report = run_heterogeneity_experiment(
                 group=WorkloadGroup.APP, trace_index=3,
@@ -129,6 +177,11 @@ def main(argv: List[str] = None) -> int:
             for name, fn in ALL_ABLATIONS.items():
                 print(fn(seed=args.seed, scale=args.scale,
                          jobs=args.jobs).render())
+                print()
+        if args.obs:
+            timings = parallel.pop_sweep_timings()
+            if timings:
+                print(parallel.render_sweep_timings(timings))
                 print()
         print(f"[{target} done in {time.time() - started:.1f}s]\n")
     return 0

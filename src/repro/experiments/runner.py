@@ -10,6 +10,7 @@ full-scale runs reproduce the paper's configuration exactly.
 from __future__ import annotations
 
 import warnings
+from contextlib import nullcontext
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Type
 
@@ -18,6 +19,7 @@ from repro.cluster.config import APP_CLUSTER, SPEC_CLUSTER, ClusterConfig
 from repro.core.reconfiguration import VReconfiguration
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.summary import RunSummary, summarize_run
+from repro.obs.session import ObsSession
 from repro.scheduling import (
     CpuBasedPolicy,
     GLoadSharing,
@@ -99,21 +101,36 @@ def subsample_trace(trace: Trace, scale: float) -> Trace:
 
 def run_trace(trace: Trace, policy_name: str,
               config: ClusterConfig,
-              policy_kwargs: Optional[dict] = None) -> ExperimentResult:
-    """Replay ``trace`` on a fresh cluster under ``policy_name``."""
+              policy_kwargs: Optional[dict] = None,
+              obs: Optional[ObsSession] = None) -> ExperimentResult:
+    """Replay ``trace`` on a fresh cluster under ``policy_name``.
+
+    ``obs`` attaches an observability session to the run: structured
+    events, metrics (merged into ``summary.extra`` under ``obs.``),
+    and per-phase wall times.  With ``obs=None`` (the default) every
+    emit site stays a single disabled-bool check.
+    """
     if policy_name not in POLICIES:
         raise KeyError(f"unknown policy {policy_name!r}; "
                        f"choose from {sorted(POLICIES)}")
+    phase = obs.phase if obs is not None else (lambda name: nullcontext())
     cluster = Cluster(config)
     policy = POLICIES[policy_name](cluster, **(policy_kwargs or {}))
     collector = MetricsCollector(
         cluster, pending_probe=lambda: len(policy.pending_jobs))
-    jobs = trace.build_jobs()
+    if obs is not None:
+        obs.attach(cluster)
+    with phase("build_jobs"):
+        jobs = trace.build_jobs()
     for job in jobs:
         cluster.sim.schedule_at(job.submit_time,
                                 lambda job=job: policy.submit(job))
-    cluster.sim.run()
-    summary = summarize_run(policy, jobs, collector, trace.name)
+    with phase("simulate"):
+        cluster.sim.run()
+    with phase("summarize"):
+        summary = summarize_run(policy, jobs, collector, trace.name)
+    if obs is not None:
+        obs.finalize(summary)
     return ExperimentResult(summary=summary, cluster=cluster,
                             policy=policy, collector=collector, trace=trace)
 
@@ -123,20 +140,24 @@ def run_experiment(group: WorkloadGroup, trace_index: int,
                    config: Optional[ClusterConfig] = None,
                    scale: float = 1.0,
                    policy_kwargs: Optional[dict] = None,
-                   nodes: Optional[int] = None
+                   nodes: Optional[int] = None,
+                   obs: Optional[ObsSession] = None
                    ) -> ExperimentResult:
     """Generate the published trace and run it under ``policy``.
 
     ``nodes`` overrides the cluster size (the trace is regenerated for
-    that topology, so home-node placement stays uniform).
+    that topology, so home-node placement stays uniform).  ``obs``
+    instruments the run (see :func:`run_trace`).
     """
     cfg = config if config is not None else default_config(group)
     if nodes is not None:
         cfg = cfg.replace(num_nodes=nodes)
-    trace = build_trace(group, trace_index, seed=seed,
-                        num_nodes=cfg.num_nodes)
-    trace = subsample_trace(trace, scale)
-    return run_trace(trace, policy, cfg, policy_kwargs)
+    phase = obs.phase if obs is not None else (lambda name: nullcontext())
+    with phase("build_trace"):
+        trace = build_trace(group, trace_index, seed=seed,
+                            num_nodes=cfg.num_nodes)
+        trace = subsample_trace(trace, scale)
+    return run_trace(trace, policy, cfg, policy_kwargs, obs=obs)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -171,6 +192,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--profile", action="store_true",
                         help="wrap the run in cProfile and print the "
                              "top-25 cumulative entries")
+    parser.add_argument("--obs", action="store_true",
+                        help="instrument the run (event bus + metrics; "
+                             "implied by the --*-out paths below)")
+    parser.add_argument("--trace-out", metavar="PATH", default=None,
+                        help="write a Chrome trace-event JSON of the "
+                             "run (open in https://ui.perfetto.dev)")
+    parser.add_argument("--log-json", metavar="PATH", default=None,
+                        help="write the structured JSONL run log")
+    parser.add_argument("--obs-metrics", metavar="PATH", default=None,
+                        help="write the metrics snapshot as JSON")
+    parser.add_argument("--export-csv", metavar="PATH", default=None,
+                        help="write the run summary as CSV")
+    parser.add_argument("--export-json", metavar="PATH", default=None,
+                        help="write the run summary as JSON")
     args = parser.parse_args(argv)
 
     group = (WorkloadGroup.SPEC if args.group == "spec"
@@ -181,10 +216,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.no_index:
         config = config.replace(indexed_selection=False)
 
+    want_obs = (args.obs or args.trace_out or args.log_json
+                or args.obs_metrics)
+    obs = None
+    if want_obs:
+        label = f"{args.group}-trace-{args.trace} {args.policy}"
+        obs = ObsSession(record_events=bool(args.trace_out
+                                            or args.log_json),
+                         run_label=label)
+
     def run() -> ExperimentResult:
         return run_experiment(group, args.trace, policy=args.policy,
                               seed=args.seed, scale=args.scale,
-                              config=config)
+                              config=config, obs=obs)
 
     if args.profile:
         import cProfile
@@ -205,6 +249,32 @@ def main(argv: Optional[List[str]] = None) -> int:
           f"makespan {summary.makespan_s:.1f}s, "
           f"avg slowdown {summary.average_slowdown:.2f}, "
           f"{summary.migrations} migrations, {events} events")
+
+    if obs is not None:
+        snapshot = obs.finalize()
+        print(f"obs: {len(obs.events)} events recorded, "
+              f"{snapshot.get('migrations', 0):.0f} migrations, "
+              f"{snapshot.get('reservation_reserve', 0):.0f} reservations, "
+              f"{snapshot.get('blocking_detections', 0):.0f} blocking "
+              f"detections")
+        if args.trace_out:
+            obs.write_trace(args.trace_out)
+            print(f"[wrote Perfetto trace {args.trace_out}]")
+        if args.log_json:
+            count = obs.write_log(args.log_json)
+            print(f"[wrote {count} JSONL events to {args.log_json}]")
+        if args.obs_metrics:
+            obs.write_metrics(args.obs_metrics)
+            print(f"[wrote metrics snapshot {args.obs_metrics}]")
+    if args.export_csv or args.export_json:
+        from repro.metrics.export import summaries_to_csv, summaries_to_json
+
+        if args.export_csv:
+            summaries_to_csv([summary], target=args.export_csv)
+            print(f"[wrote {args.export_csv}]")
+        if args.export_json:
+            summaries_to_json([summary], target=args.export_json)
+            print(f"[wrote {args.export_json}]")
     return 0
 
 

@@ -111,12 +111,19 @@ def build_blocking_trace(num_nodes: int = 32,
 def run_blocking_scenario(policy: str, seed: int = 0,
                           num_nodes: int = 32,
                           config: Optional[ClusterConfig] = None,
+                          obs=None,
                           **trace_kwargs) -> ExperimentResult:
-    """Run the constructed scenario batch under ``policy``."""
+    """Run the constructed scenario batch under ``policy``.
+
+    ``obs`` is an optional :class:`~repro.obs.session.ObsSession`; the
+    scenario is the canonical source of a reservation-bearing Perfetto
+    trace because its V-Reconfiguration run deterministically reserves
+    and rescues (see module docstring).
+    """
     cfg = config if config is not None else SCENARIO_CLUSTER.replace()
     trace = build_blocking_trace(num_nodes=cfg.num_nodes, seed=seed,
                                  **trace_kwargs)
-    return run_trace(trace, policy, cfg)
+    return run_trace(trace, policy, cfg, obs=obs)
 
 
 def large_job_slowdowns(result: ExperimentResult) -> List[float]:

@@ -1,0 +1,41 @@
+"""repro.obs — unified instrumentation layer.
+
+A structured event bus threaded through every layer of the stack
+(:mod:`repro.obs.bus`), a metrics registry
+(:mod:`repro.obs.metrics`), Chrome-trace/JSONL exporters
+(:mod:`repro.obs.trace_export`), and the per-run session object that
+ties them together (:mod:`repro.obs.session`).
+
+Observability is off by default and costs one boolean check per emit
+site; enable it by attaching an :class:`ObsSession` to a run::
+
+    from repro.obs import ObsSession
+    obs = ObsSession()
+    result = run_experiment(..., obs=obs)
+    obs.write_trace("trace.json")      # open in https://ui.perfetto.dev
+    obs.write_log("run.jsonl")
+    print(obs.finalize())              # metrics snapshot
+"""
+
+from repro.obs.bus import CHANNELS, Channel, EventBus, NULL_CHANNEL, ObsEvent
+from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.session import EXTRA_PREFIX, TRACE_CHANNELS, ObsSession
+from repro.obs.trace_export import chrome_trace, write_chrome_trace, write_jsonl
+
+__all__ = [
+    "CHANNELS",
+    "Channel",
+    "Counter",
+    "EventBus",
+    "EXTRA_PREFIX",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_CHANNEL",
+    "ObsEvent",
+    "ObsSession",
+    "TRACE_CHANNELS",
+    "chrome_trace",
+    "write_chrome_trace",
+    "write_jsonl",
+]

@@ -1,0 +1,118 @@
+"""Metrics registry: counters, gauges, and histograms for one run.
+
+The registry is a flat namespace of named instruments.  A snapshot is
+a plain ``{name: float}`` dict (histograms expand to ``_count`` /
+``_sum`` / ``_min`` / ``_max`` / ``_avg`` entries), which makes it
+trivially JSON-able and mergeable into
+:attr:`~repro.metrics.summary.RunSummary.extra` — the path by which
+observability metrics reach the CSV/JSON exporters and cross process
+boundaries in parallel sweeps.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Union
+
+
+class Counter:
+    """Monotonically increasing count (events, bytes, decisions)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counter {self.name} cannot decrease")
+        self.value += amount
+
+
+class Gauge:
+    """Last-written value (queue depth, phase wall time, event count)."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+
+class Histogram:
+    """Streaming summary of observed values (reservation lifetimes,
+    migration image sizes).  Keeps count/sum/min/max rather than the
+    raw series: cheap, mergeable, and enough for the reports."""
+
+    __slots__ = ("name", "count", "total", "min", "max")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min = float("inf")
+        self.max = float("-inf")
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    def snapshot(self) -> Dict[str, float]:
+        if self.count == 0:
+            return {f"{self.name}_count": 0.0}
+        return {
+            f"{self.name}_count": float(self.count),
+            f"{self.name}_sum": self.total,
+            f"{self.name}_min": self.min,
+            f"{self.name}_max": self.max,
+            f"{self.name}_avg": self.total / self.count,
+        }
+
+
+Instrument = Union[Counter, Gauge, Histogram]
+
+
+class MetricsRegistry:
+    """Get-or-create registry of named instruments."""
+
+    def __init__(self):
+        self._instruments: Dict[str, Instrument] = {}
+
+    def _get(self, name: str, cls):
+        instrument = self._instruments.get(name)
+        if instrument is None:
+            instrument = cls(name)
+            self._instruments[name] = instrument
+        elif not isinstance(instrument, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(instrument).__name__}, not {cls.__name__}")
+        return instrument
+
+    def counter(self, name: str) -> Counter:
+        return self._get(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get(name, Histogram)
+
+    def snapshot(self) -> Dict[str, float]:
+        """Flat, sorted ``{name: value}`` view of every instrument."""
+        out: Dict[str, float] = {}
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            if isinstance(instrument, Histogram):
+                out.update(instrument.snapshot())
+            else:
+                out[name] = instrument.value
+        return out

@@ -1,0 +1,177 @@
+"""ObsSession: wires a run's event bus to a recorder and a registry.
+
+One session observes one run.  ``attach`` subscribes to the cluster's
+channels; during the run the session keeps a structured event list and
+live metrics; ``finalize`` folds engine-level gauges in and merges the
+snapshot (``obs.``-prefixed) into the run summary's ``extra`` dict so
+the numbers survive CSV/JSON export and process boundaries.
+
+Channel-to-metric mapping:
+
+==========================  =============================================
+channel                     metrics
+==========================  =============================================
+``cluster.placement``       ``placements_local`` / ``placements_remote``
+``cluster.migration``       ``migrations``, ``migration_mb``,
+                            ``migration_delay_s`` histogram
+``reconfig.blocking``       ``blocking_detections``, ``activation_skipped``
+``reconfig.reservation``    ``reservation_<kind>`` counters,
+                            ``reservation_lifetime_s`` histogram
+``loadinfo.exchange``       ``loadinfo_exchanges``, ``loadinfo_nodes_refreshed``
+``memory.fault``            ``thrashing_transitions``
+``sim.event``               ``sim_events_observed`` (opt-in; the exact
+                            executed count is snapshotted from the
+                            engine at finalize time for free)
+==========================  =============================================
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from contextlib import contextmanager
+from typing import TYPE_CHECKING, Dict, List, Optional, TextIO, Union
+
+from repro.obs.bus import CHANNELS, EventBus, ObsEvent
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.trace_export import write_chrome_trace, write_jsonl
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.cluster import Cluster
+    from repro.metrics.summary import RunSummary
+
+#: Channels recorded into the trace/log stream.  ``sim.event`` is
+#: excluded by default: at ~10^5 events per run it would dwarf every
+#: other channel combined; opt in with ``record_sim_events=True``.
+TRACE_CHANNELS = tuple(name for name in CHANNELS if name != "sim.event")
+
+#: Prefix under which the metrics snapshot lands in ``RunSummary.extra``.
+EXTRA_PREFIX = "obs."
+
+
+class ObsSession:
+    """Observation of one run: event recording plus metrics."""
+
+    def __init__(self, record_events: bool = True,
+                 record_sim_events: bool = False,
+                 run_label: str = "run"):
+        self.registry = MetricsRegistry()
+        self.events: List[ObsEvent] = []
+        self.record_events = record_events
+        self.record_sim_events = record_sim_events
+        self.run_label = run_label
+        self.cluster: Optional["Cluster"] = None
+        self._reserve_started: Dict[int, float] = {}
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def attach(self, cluster: "Cluster") -> "ObsSession":
+        """Subscribe to ``cluster``'s bus.  Call before the run starts
+        (after the cluster and policy are constructed)."""
+        if self.cluster is not None:
+            raise ValueError("ObsSession is single-use; already attached")
+        self.cluster = cluster
+        bus: EventBus = cluster.obs
+        bus.subscribe_many(TRACE_CHANNELS, self._observe)
+        if self.record_sim_events:
+            bus.subscribe("sim.event", self._observe_sim_event)
+        return self
+
+    # ------------------------------------------------------------------
+    # subscribers
+    # ------------------------------------------------------------------
+    def _observe(self, event: ObsEvent) -> None:
+        if self.record_events:
+            self.events.append(event)
+        registry = self.registry
+        channel = event.channel
+        if channel == "cluster.placement":
+            registry.counter(f"placements_{event.kind}").inc()
+        elif channel == "cluster.migration":
+            registry.counter("migrations").inc()
+            registry.counter("migration_mb").inc(
+                event.data.get("image_mb", 0.0))
+            registry.histogram("migration_delay_s").observe(
+                event.data.get("delay_s", 0.0))
+        elif channel == "reconfig.blocking":
+            if event.kind == "activation-skipped":
+                registry.counter("activation_skipped").inc()
+            else:
+                registry.counter("blocking_detections").inc()
+        elif channel == "reconfig.reservation":
+            kind = event.kind.replace("-", "_")
+            registry.counter(f"reservation_{kind}").inc()
+            rid = event.data.get("reservation")
+            if event.kind == "reserve":
+                self._reserve_started[rid] = event.time
+            elif event.kind in ("release", "cancel"):
+                started = self._reserve_started.pop(rid, None)
+                if started is not None:
+                    registry.histogram("reservation_lifetime_s").observe(
+                        event.time - started)
+        elif channel == "loadinfo.exchange":
+            registry.counter("loadinfo_exchanges").inc()
+            registry.counter("loadinfo_nodes_refreshed").inc(
+                event.data.get("refreshed", 0))
+        elif channel == "memory.fault":
+            registry.counter("thrashing_transitions").inc()
+
+    def _observe_sim_event(self, event: ObsEvent) -> None:
+        self.registry.counter("sim_events_observed").inc()
+        if self.record_events:
+            self.events.append(event)
+
+    # ------------------------------------------------------------------
+    # phase timing
+    # ------------------------------------------------------------------
+    @contextmanager
+    def phase(self, name: str):
+        """Record the wall time of a run phase as a gauge
+        (``phase_<name>_wall_s``)."""
+        started = time.perf_counter()
+        try:
+            yield
+        finally:
+            self.registry.gauge(f"phase_{name}_wall_s").set(
+                time.perf_counter() - started)
+
+    # ------------------------------------------------------------------
+    # finalization and export
+    # ------------------------------------------------------------------
+    def finalize(self, summary: Optional["RunSummary"] = None
+                 ) -> Dict[str, float]:
+        """Fold in engine gauges and (optionally) merge the snapshot
+        into ``summary.extra`` under the ``obs.`` prefix."""
+        if self.cluster is not None and not self._finalized:
+            sim = self.cluster.sim
+            self.registry.gauge("sim_events_executed").set(sim.event_count)
+            self.registry.gauge("heap_compactions").set(sim.compactions)
+            self.registry.gauge("recorded_events").set(len(self.events))
+            self._finalized = True
+        snapshot = self.registry.snapshot()
+        if summary is not None:
+            for key, value in snapshot.items():
+                summary.extra[EXTRA_PREFIX + key] = value
+        return snapshot
+
+    def write_trace(self, target: Union[str, TextIO]) -> dict:
+        """Write the Chrome trace-event JSON (Perfetto-loadable)."""
+        return write_chrome_trace(self.events, target,
+                                  run_label=self.run_label)
+
+    def write_log(self, target: Union[str, TextIO]) -> int:
+        """Write the structured JSONL run log."""
+        return write_jsonl(self.events, target)
+
+    def write_metrics(self, target: Union[str, TextIO]) -> Dict[str, float]:
+        """Write the metrics snapshot as a JSON object."""
+        snapshot = self.finalize()
+        payload = json.dumps(snapshot, indent=2, sort_keys=True)
+        if isinstance(target, str):
+            with open(target, "w") as stream:
+                stream.write(payload + "\n")
+        else:
+            target.write(payload + "\n")
+        return snapshot

@@ -78,6 +78,11 @@ class LoadSharingPolicy:
         #: single list instead of rebuilding per job.
         self._candidates_key: Optional[tuple] = None
         self._candidates_view: List[Workstation] = []
+        #: Obs channels, cached once so the emit sites are a single
+        #: attribute load + bool test while observability is off.
+        self._obs_place = cluster.obs.channel("cluster.placement")
+        self._obs_migrate = cluster.obs.channel("cluster.migration")
+        self._obs_block = cluster.obs.channel("reconfig.blocking")
         cluster.on_node_changed(self._on_node_changed)
         self._schedule_monitor()
 
@@ -112,11 +117,20 @@ class LoadSharingPolicy:
 
     def _start(self, job: Job, node: Workstation) -> None:
         self._charge_wait(job)
+        obs = self._obs_place
+        if obs.enabled:
+            obs.emit(self.sim.now, "local", job=job.job_id,
+                     node=node.node_id, demand_mb=job.current_demand_mb)
         node.add_job(job)
         self.cluster.notify_node_changed(node)
 
     def _start_remote(self, job: Job, node: Workstation) -> None:
         self._charge_wait(job)
+        obs = self._obs_place
+        if obs.enabled:
+            obs.emit(self.sim.now, "remote", job=job.job_id,
+                     node=node.node_id, home=job.home_node,
+                     demand_mb=job.current_demand_mb)
         job.state = JobState.MIGRATING
         node.inbound_jobs += 1
         delay = self.cluster.network.remote_cost_s
@@ -240,6 +254,12 @@ class LoadSharingPolicy:
             self.cluster.notify_node_changed(destination)
 
         delay = self.cluster.network.migrate(image_mb, arrive)
+        obs = self._obs_migrate
+        if obs.enabled:
+            obs.emit(self.sim.now, "migrate", job=job.job_id,
+                     source=source.node_id, dest=destination.node_id,
+                     image_mb=image_mb, delay_s=delay,
+                     dedicated=job.dedicated)
         self.cluster.notify_node_changed(source)
         return delay
 
@@ -258,6 +278,11 @@ class LoadSharingPolicy:
         destination exists — the paper's blocking problem.  ``job`` is
         the migration candidate that could not be placed."""
         self.stats.blocking_events += 1
+        obs = self._obs_block
+        if obs.enabled:
+            obs.emit(self.sim.now, "blocking", node=node.node_id,
+                     job=job.job_id if job is not None else None,
+                     fault_rate_per_s=node.fault_rate_per_s)
 
     # ------------------------------------------------------------------
     # helpers shared by concrete policies

@@ -18,6 +18,8 @@ import heapq
 import itertools
 from typing import Callable, List, Optional
 
+from repro.obs.bus import NULL_CHANNEL
+
 
 class SimulationError(RuntimeError):
     """Raised for invalid uses of the simulation kernel."""
@@ -95,6 +97,12 @@ class Simulator:
         self._event_count = 0
         self._non_daemon_pending = 0
         self._daemon_pending = 0
+        #: Number of lazy-cancellation heap rebuilds (diagnostics).
+        self.compactions = 0
+        #: ``sim.event`` obs channel; the owning cluster points this at
+        #: its bus.  Disabled (the shared null channel) by default, so
+        #: the per-event cost is one attribute load and bool test.
+        self.obs_channel = NULL_CHANNEL
 
     # ------------------------------------------------------------------
     # clock and introspection
@@ -161,6 +169,7 @@ class Simulator:
             return
         self._heap = [ev for ev in heap if ev.pending]
         heapq.heapify(self._heap)
+        self.compactions += 1
 
     # ------------------------------------------------------------------
     # execution
@@ -181,6 +190,10 @@ class Simulator:
             else:
                 self._non_daemon_pending -= 1
             self._event_count += 1
+            obs = self.obs_channel
+            if obs.enabled:
+                obs.emit(self._now, "fire", priority=handle.priority,
+                         daemon=handle.daemon)
             callback()
             return True
         return False

@@ -75,8 +75,17 @@ class ExecutionTracer:
     # ------------------------------------------------------------------
     def watch_policy(self, policy: LoadSharingPolicy) -> None:
         """Wrap the policy's submit/migrate hooks to record intent
-        events in addition to the cluster's state events."""
+        events in addition to the cluster's state events.
+
+        For reconfiguration policies the tracer also subscribes to the
+        cluster's obs bus so the timeline explains *why* reservations
+        did not happen: ``activation-skipped`` (accumulated idle memory
+        below the average workstation user memory, §2.1/§2.3) and
+        ``backoff-cancel`` (blocking disappeared during the reserving
+        period) appear as first-class events.
+        """
         self._policy = policy
+        self._watch_reconfiguration_decisions(policy)
         original_submit = policy.submit
         original_migrate = policy.migrate
 
@@ -99,6 +108,37 @@ class ExecutionTracer:
 
         policy.submit = traced_submit
         policy.migrate = traced_migrate
+
+    def _watch_reconfiguration_decisions(self,
+                                         policy: LoadSharingPolicy) -> None:
+        """Record reservation *non*-events from the obs bus (no-op for
+        policies that never emit them)."""
+        bus = self.cluster.obs
+
+        def on_blocking_event(event) -> None:
+            if event.kind != "activation-skipped":
+                return
+            data = event.data
+            self.events.append(TraceEvent(
+                time=event.time, kind="activation-skipped",
+                node_id=data.get("node"),
+                detail=(f"idle={data.get('idle_memory_mb', 0.0):.0f}MB"
+                        f" <= avg-user="
+                        f"{data.get('threshold_mb', 0.0):.0f}MB")))
+
+        def on_reservation_event(event) -> None:
+            if event.kind != "backoff-cancel":
+                return
+            data = event.data
+            self.events.append(TraceEvent(
+                time=event.time, kind="backoff-cancel",
+                node_id=data.get("node"),
+                detail=(f"reservation={data.get('reservation')}"
+                        f" backoff-until="
+                        f"{data.get('backoff_until', 0.0):.1f}s")))
+
+        bus.subscribe("reconfig.blocking", on_blocking_event)
+        bus.subscribe("reconfig.reservation", on_reservation_event)
 
     # ------------------------------------------------------------------
     # event capture

@@ -1,6 +1,7 @@
 """Unit tests for the CSV/JSON exporters."""
 
 import csv
+import dataclasses
 import io
 import json
 
@@ -8,13 +9,14 @@ import pytest
 
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.export import (
+    SUMMARY_FIELDS,
     figure_to_csv,
     load_summaries_json,
     summaries_to_csv,
     summaries_to_json,
     summary_to_dict,
 )
-from repro.metrics.summary import summarize_run
+from repro.metrics.summary import RunSummary, summarize_run
 from repro.scheduling import GLoadSharing
 
 from helpers import drive, job, tiny_cluster
@@ -29,6 +31,25 @@ def summary():
     drive(policy, jobs)
     cluster.sim.run()
     return summarize_run(policy, jobs, collector, "export-trace")
+
+
+class TestSummaryFieldsSync:
+    #: Fields carried outside the flat column list: ``extra`` is
+    #: JSON-encoded into its own column, ``slowdowns`` is opt-in, and
+    #: ``reservation_placements`` is derived from ``extra``.
+    NON_COLUMN_FIELDS = {"extra", "slowdowns", "reservation_placements"}
+
+    def test_summary_fields_match_dataclass(self):
+        """A field added to RunSummary must be wired into
+        SUMMARY_FIELDS (or explicitly listed above) or exports would
+        silently drop it."""
+        declared = {field.name for field in dataclasses.fields(RunSummary)}
+        assert declared - self.NON_COLUMN_FIELDS == set(SUMMARY_FIELDS)
+
+    def test_summary_fields_round_trip(self, summary):
+        data = summary_to_dict(summary)
+        for name in SUMMARY_FIELDS:
+            assert data[name] == getattr(summary, name)
 
 
 class TestSummaryExport:
