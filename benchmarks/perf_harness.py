@@ -18,7 +18,13 @@ The harness measures five things on a fixed, seeded workload:
   metrics-only obs session attached (see :mod:`repro.obs`), verifying
   the summaries are identical modulo the ``obs.*`` keys and reporting
   the obs-on/obs-off overhead factor (gated in CI via
-  ``--max-obs-overhead-factor``).
+  ``--max-obs-overhead-factor``);
+* **fault-injection overhead** — the single run repeated with the
+  failure model enabled (see :mod:`repro.faults`), verifying the
+  fault schedule is deterministic (two runs, identical summaries) and
+  reporting the faults-on/faults-off factor.  The faults-*off* run is
+  the one the ``--fail-below-ratio`` gate reads, so the fault
+  subsystem cannot mask a hot-path regression.
 
 ``BENCH_perf.json`` records those numbers plus the environment
 (cpu count, python version), giving every future PR a trajectory to
@@ -159,6 +165,55 @@ def measure_obs_bench(scale: float = SWEEP_SCALE) -> dict:
     }
 
 
+def measure_faults_bench(scale: float = SWEEP_SCALE) -> dict:
+    """Fault-injection overhead and determinism.
+
+    The single-run measurement repeated with the failure model on
+    (node crashes every ~2000 s per node plus lossy load information
+    and a migration failure rate — every fault branch is exercised).
+    The run executes twice and the summaries must match exactly: the
+    fault schedule derives from ``fault_seed`` alone.
+    """
+    from repro.faults.config import FaultConfig
+
+    faults = FaultConfig(mtbf_s=2000.0, mttr_s=60.0, fault_seed=0,
+                         loadinfo_drop_prob=0.05,
+                         loadinfo_delay_prob=0.05,
+                         migration_failure_prob=0.2)
+    off = measure_single_run(scale)
+
+    def timed() -> tuple:
+        started = time.perf_counter()
+        result = run_experiment(WorkloadGroup.SPEC, 3,
+                                policy="g-loadsharing", seed=0,
+                                scale=scale, faults=faults)
+        wall_s = time.perf_counter() - started
+        return result.summary, {
+            "wall_s": wall_s,
+            "events": result.cluster.sim.event_count,
+            "events_per_s": (result.cluster.sim.event_count / wall_s
+                             if wall_s > 0 else 0.0),
+        }
+
+    first_summary, on = timed()
+    second_summary, _ = timed()
+    if first_summary != second_summary:
+        raise AssertionError(
+            "two faults-enabled runs produced different summaries — "
+            "the fault schedule is not deterministic")
+    factor = (off["events_per_s"] / on["events_per_s"]
+              if on["events_per_s"] > 0 else 0.0)
+    return {
+        "mtbf_s": faults.mtbf_s,
+        "faults_off": off,
+        "faults_on": on,
+        "overhead_factor": factor,
+        "crashes": first_summary.extra.get("fault.crashes", 0.0),
+        "lost_jobs": first_summary.extra.get("fault.lost_jobs", 0.0),
+        "deterministic": True,
+    }
+
+
 def measure_sweep(jobs: int, scale: float = SWEEP_SCALE) -> dict:
     """Wall seconds for the quick-mode sweep at ``jobs`` workers."""
     specs = sweep_specs(scale)
@@ -244,7 +299,8 @@ def resolve_jobs(requested: int) -> dict:
 def run_harness(jobs: int = 0, scale: float = SWEEP_SCALE,
                 output: Optional[str] = DEFAULT_OUTPUT,
                 scale_bench: bool = True,
-                obs_bench: bool = True) -> dict:
+                obs_bench: bool = True,
+                faults_bench: bool = True) -> dict:
     """Measure, check determinism, and (optionally) write the report."""
     resolved = resolve_jobs(jobs)
     single = measure_single_run(scale)
@@ -285,6 +341,8 @@ def run_harness(jobs: int = 0, scale: float = SWEEP_SCALE,
         report["scale_bench"] = measure_scale_bench(scale)
     if obs_bench:
         report["obs_bench"] = measure_obs_bench(scale)
+    if faults_bench:
+        report["faults_bench"] = measure_faults_bench(scale)
     if output:
         with open(output, "w") as stream:
             json.dump(report, stream, indent=2, sort_keys=True)
@@ -317,6 +375,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="skip the 32/256-node scaling leg")
     parser.add_argument("--no-obs-bench", action="store_true",
                         help="skip the obs-off/obs-on overhead leg")
+    parser.add_argument("--no-faults-bench", action="store_true",
+                        help="skip the fault-injection overhead leg")
     parser.add_argument("--fail-below-ratio", type=float, default=None,
                         metavar="R",
                         help="exit non-zero if fresh single-run events/s "
@@ -336,7 +396,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     report = run_harness(jobs=args.jobs, scale=args.scale,
                          output=args.output,
                          scale_bench=not args.no_scale_bench,
-                         obs_bench=not args.no_obs_bench)
+                         obs_bench=not args.no_obs_bench,
+                         faults_bench=not args.no_faults_bench)
     single = report["single_run"]
     print(f"single run : {single['events']} events in "
           f"{single['wall_s']:.2f}s = {single['events_per_s']:,.0f} ev/s")
@@ -363,6 +424,14 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"ev/s, on {bench['obs_on']['events_per_s']:,.0f} ev/s, "
               f"overhead {bench['overhead_factor']:.2f}x "
               f"(identical summaries modulo obs.*)")
+    if "faults_bench" in report:
+        bench = report["faults_bench"]
+        print(f"faults     : off "
+              f"{bench['faults_off']['events_per_s']:,.0f} ev/s, on "
+              f"{bench['faults_on']['events_per_s']:,.0f} ev/s, "
+              f"overhead {bench['overhead_factor']:.2f}x "
+              f"({bench['crashes']:.0f} crashes, "
+              f"{bench['lost_jobs']:.0f} jobs lost, deterministic)")
     base = report["baseline"]
     print(f"baseline   : {base['single_run_events_per_s']:,.0f} ev/s, "
           f"serial sweep {base['serial_sweep_wall_s']:.2f}s (pre-change)")

@@ -17,6 +17,7 @@ from repro.cluster.loadinfo import LoadInfoDirectory
 from repro.cluster.memory import PagingModel
 from repro.cluster.network import Network
 from repro.cluster.workstation import Workstation
+from repro.faults.injector import FaultInjector
 from repro.obs.bus import EventBus
 from repro.sim.engine import Simulator
 
@@ -73,6 +74,11 @@ class Cluster:
         self.finished_jobs: List[Job] = []
         self._job_listeners: List[JobListener] = []
         self._node_listeners: List[NodeListener] = []
+        #: Fault injector (None on fault-free runs — the common case;
+        #: every fault-aware code path guards on this being set).
+        self.faults: Optional[FaultInjector] = None
+        if self.config.faults is not None:
+            self.faults = FaultInjector(self, self.config.faults)
 
     # ------------------------------------------------------------------
     # observers

@@ -20,6 +20,9 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.faults.config import FaultConfig
 
 
 @dataclass(frozen=True)
@@ -136,6 +139,12 @@ class ClusterConfig:
     #: identical (pinned by tests) but O(N log N) per decision; kept
     #: for the equivalence suite and the scale benchmark.
     indexed_selection: bool = True
+
+    # --- fault injection -----------------------------------------------
+    #: Failure model of the run (see :mod:`repro.faults`); ``None``
+    #: (the default) runs fault-free and byte-identical to a build
+    #: without the fault subsystem — a property pinned by tests.
+    faults: Optional[FaultConfig] = None
 
     # --- periodic activities -------------------------------------------
     #: Load index collection/distribution period (s); 0 = always fresh.

@@ -17,8 +17,14 @@ two candidate orders the scheduling layer consumes on its hot path:
 * the **accepting order** — accepting nodes sorted by
   ``(-idle_memory_mb, num_jobs, node_id)``, backing
   ``candidates_by_idle_memory`` / ``find_migration_destination``;
-* the **load order** — all nodes sorted by ``(num_jobs, node_id)``,
-  backing the CPU-based policy.
+* the **load order** — all live nodes sorted by ``(num_jobs,
+  node_id)``, backing the CPU-based policy.
+
+Under fault injection, crashed nodes leave both orders immediately
+(:meth:`LoadInfoDirectory.evict`) and return on recovery
+(:meth:`LoadInfoDirectory.readmit`); a lossy exchange is modelled by
+the :attr:`LoadInfoDirectory.fault_hook` dropping or delaying
+per-node updates.
 
 Each order is activated lazily on first use and then kept sorted:
 one exchange round updates only the nodes that actually changed since
@@ -61,6 +67,9 @@ class NodeSnapshot:
     fault_rate_per_s: float
     accepting: bool
     timestamp: float
+    #: Fail-stop liveness (fault injection); dead nodes are excluded
+    #: from both candidate orders until re-admitted.
+    alive: bool = True
 
 
 class _CandidateOrder:
@@ -120,6 +129,13 @@ class LoadInfoDirectory:
         #: unindexed fallback so benchmarks compare real baselines).
         self.incremental = incremental
         self._snapshots: Dict[int, NodeSnapshot] = {}
+        #: Fault-injection hook consulted once per refreshed node each
+        #: exchange round: ``hook(node_id) -> (action, delay_s)`` with
+        #: action one of ``"deliver"``/``"drop"``/``"delay"``.  Dropped
+        #: updates stay dirty and are retried next round; delayed ones
+        #: apply their (by then possibly stale) snapshot after
+        #: ``delay_s``.  ``None`` (the default) delivers everything.
+        self.fault_hook = None
         self.refreshes = 0
         #: Bumped whenever a maintained candidate order may have
         #: changed; schedulers key cached candidate views on it.
@@ -163,7 +179,24 @@ class LoadInfoDirectory:
             return
         self._dirty.clear()
         order_moved = False
+        hook = self.fault_hook
+        dropped = delayed = 0
         for node in changed_nodes:
+            if hook is not None:
+                action, delay_s = hook(node.node_id)
+                if action == "drop":
+                    # The update was lost: the node stays dirty so the
+                    # next round retries it.
+                    self._dirty.add(node.node_id)
+                    dropped += 1
+                    continue
+                if action == "delay":
+                    snap = self._snapshot_of(node)
+                    self._sim.schedule(
+                        delay_s, lambda s=snap: self._apply_delayed(s),
+                        priority=2, daemon=True)
+                    delayed += 1
+                    continue
             snap = self._snapshot_of(node)
             self._snapshots[node.node_id] = snap
             order_moved |= self._reposition(snap.node_id,
@@ -172,19 +205,42 @@ class LoadInfoDirectory:
             self.order_version += 1
         obs = self.obs
         if obs.enabled:
-            obs.emit(self._sim.now, "exchange",
-                     refreshed=len(changed_nodes),
-                     order_moved=order_moved, round=self.refreshes)
+            if hook is not None:
+                obs.emit(self._sim.now, "exchange",
+                         refreshed=len(changed_nodes),
+                         order_moved=order_moved, round=self.refreshes,
+                         dropped=dropped, delayed=delayed)
+            else:
+                obs.emit(self._sim.now, "exchange",
+                         refreshed=len(changed_nodes),
+                         order_moved=order_moved, round=self.refreshes)
+
+    def _apply_delayed(self, snap: NodeSnapshot) -> None:
+        """Land a delayed exchange update.
+
+        Out-of-order delivery is the point: the snapshot may be staler
+        than what a later round already published — a real lossy
+        network re-delivers old load reports too.  An update for a
+        node that has crashed since collection is discarded (the
+        eviction wins).
+        """
+        if not self._nodes[snap.node_id].alive:
+            return
+        self._snapshots[snap.node_id] = snap
+        if self._reposition(snap.node_id, self._snapshot_keys(snap)):
+            self.order_version += 1
 
     def _snapshot_of(self, node: "Workstation") -> NodeSnapshot:
+        alive = node.alive
         return NodeSnapshot(
             node_id=node.node_id,
-            num_jobs=node.committed_jobs,
+            num_jobs=node.committed_jobs if alive else 0,
             idle_memory_mb=node.idle_memory_mb,
             total_demand_mb=node.total_demand_mb,
             fault_rate_per_s=node.fault_rate_per_s,
             accepting=node.accepting,
             timestamp=self._sim.now,
+            alive=alive,
         )
 
     # ------------------------------------------------------------------
@@ -192,13 +248,18 @@ class LoadInfoDirectory:
     # ------------------------------------------------------------------
     @staticmethod
     def _snapshot_keys(snap: NodeSnapshot
-                       ) -> Tuple[Optional[tuple], tuple]:
+                       ) -> Tuple[Optional[tuple], Optional[tuple]]:
+        if not snap.alive:
+            return None, None
         accepting_key = ((-snap.idle_memory_mb, snap.num_jobs, snap.node_id)
                          if snap.accepting else None)
         return accepting_key, (snap.num_jobs, snap.node_id)
 
     @staticmethod
-    def _live_keys(node: "Workstation") -> Tuple[Optional[tuple], tuple]:
+    def _live_keys(node: "Workstation"
+                   ) -> Tuple[Optional[tuple], Optional[tuple]]:
+        if not node.alive:
+            return None, None
         num_jobs = node.committed_jobs
         accepting_key = ((-node.idle_memory_mb, num_jobs, node.node_id)
                          if node.accepting else None)
@@ -231,6 +292,34 @@ class LoadInfoDirectory:
         else:
             self._dirty.add(node.node_id)
 
+    # ------------------------------------------------------------------
+    # fail-stop membership (fault injection)
+    # ------------------------------------------------------------------
+    def evict(self, node_id: int) -> None:
+        """Remove a crashed node from both candidate orders at once.
+
+        Eviction is immediate rather than waiting for the next
+        exchange round: a real load-sharing system learns of a crash
+        through connection failure, not through the periodic load
+        report.  In periodic mode the dead snapshot is published so
+        stale reads also see the node as gone.
+        """
+        if self.exchange_interval_s != 0:
+            self._snapshots[node_id] = self._snapshot_of(
+                self._nodes[node_id])
+            self._dirty.discard(node_id)
+        if self._reposition(node_id, (None, None)):
+            self.order_version += 1
+
+    def readmit(self, node_id: int) -> None:
+        """Put a recovered node back into the candidate orders."""
+        node = self._nodes[node_id]
+        if self.exchange_interval_s != 0:
+            self._snapshots[node_id] = self._snapshot_of(node)
+            self._dirty.discard(node_id)
+        if self._reposition(node_id, self._keys_of(node)):
+            self.order_version += 1
+
     def accepting_ids(self) -> List[int]:
         """Accepting node ids ordered by (idle memory desc, job count
         asc, node id) — identical to sorting a fresh ``snapshots()``
@@ -243,7 +332,7 @@ class LoadInfoDirectory:
         return self._accepting_order.ids()
 
     def load_order_ids(self) -> List[int]:
-        """All node ids ordered by (job count asc, node id)."""
+        """All live node ids ordered by (job count asc, node id)."""
         if self._load_order is None:
             self._load_order = _CandidateOrder(
                 (node.node_id, self._keys_of(node)[1])

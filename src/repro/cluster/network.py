@@ -39,10 +39,23 @@ class Network:
         # Diagnostics
         self.bytes_transferred = 0.0
         self.transfers = 0
+        #: Accumulated wire seconds across all transfers — in
+        #: contention mode this is exactly the link's busy time (the
+        #: FIFO serializes transfers, so wire times never overlap).
+        self.busy_s = 0.0
 
     # ------------------------------------------------------------------
     def transfer_time_s(self, image_mb: float) -> float:
-        """Pure wire time for an image of ``image_mb`` megabytes."""
+        """Pure wire time for an image of ``image_mb`` megabytes.
+
+        Unit convention (pinned by tests): the image is measured in
+        *binary* megabytes (``1 MB = 8 * 1024 * 1024 bits``, matching
+        memory sizes elsewhere in the simulator) while bandwidth uses
+        the networking convention of *decimal* megabits
+        (``1 Mbps = 1e6 bits/s``).  A 1 MB image on the paper's
+        10 Mbps Ethernet therefore takes ``8388608 / 1e7 =
+        0.8388608 s``, not 0.8 s.
+        """
         if image_mb < 0:
             raise ValueError("image_mb must be non-negative")
         return image_mb * BITS_PER_MB / self.bandwidth_bps
@@ -78,5 +91,6 @@ class Network:
             delay = self.remote_cost_s + wire
         self.bytes_transferred += image_mb * 1024 * 1024
         self.transfers += 1
+        self.busy_s += wire
         self._sim.schedule(delay, on_done)
         return delay

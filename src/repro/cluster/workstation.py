@@ -47,6 +47,9 @@ class Workstation:
         #: re-snapshotting all N nodes every exchange round.
         self._change_listeners: List[Callable[["Workstation"], None]] = []
 
+        #: Fail-stop liveness (fault injection).  A dead node reports
+        #: no capacity, accepts nothing, and advances no job.
+        self._alive = True
         #: Submissions/migrations blocked by a reservation (the paper's
         #: reservation flag) or by an overload condition.
         self._reserved = False
@@ -94,6 +97,10 @@ class Workstation:
             listener(self)
 
     @property
+    def alive(self) -> bool:
+        return self._alive
+
+    @property
     def reserved(self) -> bool:
         return self._reserved
 
@@ -136,6 +143,8 @@ class Workstation:
 
     @property
     def idle_memory_mb(self) -> float:
+        if not self._alive:
+            return 0.0
         return max(0.0, self.user_memory_mb - self._total_demand_cache)
 
     @property
@@ -164,9 +173,10 @@ class Workstation:
 
     @property
     def accepting(self) -> bool:
-        """Submission-eligibility per [3]: idle memory present, a job
-        slot free, and not blocked by a reservation."""
-        return (not self.reserved
+        """Submission-eligibility per [3]: alive, idle memory present,
+        a job slot free, and not blocked by a reservation."""
+        return (self._alive
+                and not self.reserved
                 and self.has_free_slot
                 and self.idle_memory_mb >= self.config.min_idle_mb)
 
@@ -179,7 +189,8 @@ class Workstation:
     def accepts_migration(self, job: Job) -> bool:
         """Qualified migration destination per [3]: enough idle memory
         for the job's current demand and a free job slot."""
-        return (not self.reserved
+        return (self._alive
+                and not self.reserved
                 and self.has_free_slot
                 and self.idle_memory_mb >= job.current_demand_mb - _EPS)
 
@@ -188,6 +199,8 @@ class Workstation:
     # ------------------------------------------------------------------
     def add_job(self, job: Job) -> None:
         """Start (or resume) ``job`` on this node."""
+        if not self._alive:
+            raise ValueError(f"node {self.node_id} is down")
         if job.state is JobState.FINISHED:
             raise ValueError(f"job {job.job_id} already finished")
         if any(j.job_id == job.job_id for j in self._running):
@@ -205,6 +218,39 @@ class Workstation:
             raise ValueError(f"job {job.job_id} not on node {self.node_id}")
         self._running.remove(job)
         job.node_id = None
+        self._recompute()
+
+    def crash(self) -> List[Job]:
+        """Fail-stop this node; returns the jobs it was running.
+
+        Accounting is brought up to the crash instant first, so the
+        lost jobs' progress/accounting reflect work done until the
+        failure.  The returned jobs are detached (``state=PENDING``,
+        ``node_id=None``) and owned by the caller — the fault injector
+        applies the crash policy (requeue vs. checkpoint) and hands
+        them to the scheduling policy.  In-flight arrivals are *not*
+        touched: their network callbacks observe ``alive`` on landing.
+        """
+        if not self._alive:
+            raise ValueError(f"node {self.node_id} is already down")
+        self._advance()
+        lost = list(self._running)
+        self._running.clear()
+        for job in lost:
+            job.node_id = None
+            job.state = JobState.PENDING
+            job.faulting = False
+        self._alive = False
+        self._recompute()
+        return lost
+
+    def recover(self) -> None:
+        """Return a crashed node to service (empty, full capacity)."""
+        if self._alive:
+            raise ValueError(f"node {self.node_id} is not down")
+        self._alive = True
+        # Dead time belongs to nobody's accounting.
+        self._last_update = self._sim.now
         self._recompute()
 
     def most_memory_intensive_job(self, faulting_only: bool = False

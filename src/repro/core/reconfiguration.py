@@ -180,8 +180,8 @@ class VReconfiguration(GLoadSharing):
         time until, with submissions blocked, enough memory has been
         freed for the candidate job."""
         candidates = [n for n in self.cluster.nodes
-                      if not n.reserved and n.node_id != exclude
-                      and not n.thrashing]
+                      if n.alive and not n.reserved
+                      and n.node_id != exclude and not n.thrashing]
         if not candidates:
             return None
         # Prefer nodes that are already not accepting submissions
@@ -275,6 +275,8 @@ class VReconfiguration(GLoadSharing):
         self.migrate(
             job, source, reservation.node,
             on_arrival=lambda j: self.reservations.job_arrived(
+                reservation, j),
+            on_abandoned=lambda j: self.reservations.migration_abandoned(
                 reservation, j))
 
     # ------------------------------------------------------------------

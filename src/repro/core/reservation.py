@@ -125,6 +125,8 @@ class ReservationManager:
         #: Fired when a reserving period completes: callback(reservation).
         self.on_ready: Optional[Callable[[Reservation], None]] = None
         cluster.on_job_finished(self._job_finished)
+        if cluster.faults is not None:
+            cluster.faults.reservation_manager = self
 
     # ------------------------------------------------------------------
     # queries
@@ -226,6 +228,37 @@ class ReservationManager:
         if reservation.state is ReservationState.RESERVING:
             self._log("timeout", reservation)
             self.cancel(reservation)
+
+    # ------------------------------------------------------------------
+    # fault handling
+    # ------------------------------------------------------------------
+    def node_crashed(self, node_id: int) -> Optional[Reservation]:
+        """A reserved workstation failed: abort its reservation so the
+        reconfiguration routine can re-trigger elsewhere.  Returns the
+        aborted reservation, or None if the node held none."""
+        reservation = self._by_node.get(node_id)
+        if reservation is None or not reservation.active:
+            return None
+        reservation.state = ReservationState.CANCELLED
+        reservation.closed_at = self.cluster.sim.now
+        self._close(reservation, "crash-abort")
+        return reservation
+
+    def migration_abandoned(self, reservation: Reservation,
+                            job: Job) -> None:
+        """An inbound migration never landed (transfer retries
+        exhausted): undo its assignment so the reservation does not
+        wait forever for a job that fell back to its source."""
+        job.dedicated = False
+        if not reservation.active:
+            return
+        reservation.inbound = max(0, reservation.inbound - 1)
+        reservation.migrated_job_ids.discard(job.job_id)
+        self._log("abandon", reservation, job.job_id)
+        if (reservation.state is ReservationState.SERVING
+                and not reservation.migrated_job_ids
+                and reservation.inbound == 0):
+            self.release(reservation)
 
     # ------------------------------------------------------------------
     # event wiring

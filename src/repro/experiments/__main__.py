@@ -14,6 +14,8 @@ Usage::
     python -m repro.experiments figure3 --seed 7 --chart
     python -m repro.experiments figure1 --obs --jobs 4   # sweep telemetry
     python -m repro.experiments scenario --trace-out scenario.trace.json
+    python -m repro.experiments degradation --scale 0.25 --jobs 0
+    python -m repro.experiments scenario --faults --mtbf 600
 """
 
 from __future__ import annotations
@@ -25,8 +27,10 @@ from typing import List
 
 from repro.experiments import parallel
 from repro.experiments.ablations import ALL_ABLATIONS
+from repro.experiments.degradation import run_degradation_experiment
 from repro.experiments.figures import ALL_FIGURES
 from repro.experiments.heterogeneity import run_heterogeneity_experiment
+from repro.experiments.runner import build_fault_config
 from repro.experiments.scenario import (
     large_job_slowdowns,
     run_blocking_scenario,
@@ -38,13 +42,17 @@ from repro.obs.session import ObsSession
 from repro.workload.programs import WorkloadGroup
 
 TARGETS = (["table1", "table2"] + sorted(ALL_FIGURES)
-           + ["scenario", "heterogeneity", "ablations"])
+           + ["scenario", "heterogeneity", "ablations", "degradation"])
+
+#: Targets that accept the shared fault-injection flags.
+FAULT_TARGETS = ("scenario", "degradation")
 
 
 def _run_scenario(obs_session=None, trace_out=None, log_json=None,
-                  obs_metrics=None) -> None:
-    base = run_blocking_scenario("g-loadsharing")
-    reco = run_blocking_scenario("v-reconfiguration", obs=obs_session)
+                  obs_metrics=None, faults=None) -> None:
+    base = run_blocking_scenario("g-loadsharing", faults=faults)
+    reco = run_blocking_scenario("v-reconfiguration", obs=obs_session,
+                                 faults=faults)
     big_base = large_job_slowdowns(base)
     big_reco = large_job_slowdowns(reco)
     print("Constructed blocking scenario (32 nodes):")
@@ -62,6 +70,12 @@ def _run_scenario(obs_session=None, trace_out=None, log_json=None,
     print(f"  reservations={reco.summary.extra.get('reservations', 0)} "
           f"rescues="
           f"{reco.summary.extra.get('reconfiguration_migrations', 0)}")
+    fault_keys = sorted(k for k in reco.summary.extra
+                        if k.startswith("fault."))
+    if fault_keys:
+        print("  faults: " + ", ".join(
+            f"{key[len('fault.'):]}={reco.summary.extra[key]:g}"
+            for key in fault_keys))
     if obs_session is not None:
         if trace_out:
             obs_session.write_trace(trace_out)
@@ -112,6 +126,25 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument("--obs-metrics", metavar="PATH", default=None,
                         help="write the scenario run's metrics "
                              "snapshot as JSON (scenario target only)")
+    parser.add_argument("--faults", action="store_true",
+                        help="enable fault injection with default "
+                             "parameters for the scenario target "
+                             "(implied by the fault options below)")
+    parser.add_argument("--mtbf", type=float, default=None, metavar="S",
+                        help="mean time between node crashes in seconds "
+                             "(scenario target; the degradation target "
+                             "sweeps its own MTBF grid)")
+    parser.add_argument("--mttr", type=float, default=None, metavar="S",
+                        help="mean time to repair a crashed node in "
+                             "seconds (default 60)")
+    parser.add_argument("--fault-seed", type=int, default=None,
+                        metavar="N",
+                        help="seed of the fault streams, independent of "
+                             "the workload seed (default 0)")
+    parser.add_argument("--crash-policy", default=None,
+                        choices=["requeue", "checkpoint"],
+                        help="fate of jobs on a crashed node "
+                             "(default requeue)")
     args = parser.parse_args(argv)
 
     targets = list(args.targets)
@@ -131,6 +164,10 @@ def main(argv: List[str] = None) -> int:
             and "scenario" not in targets:
         parser.error("--trace-out/--log-json/--obs-metrics record the "
                      "scenario target; add 'scenario' to the targets")
+    faults = build_fault_config(args)
+    if faults is not None and not any(t in FAULT_TARGETS for t in targets):
+        parser.error("fault flags apply to the scenario and degradation "
+                     f"targets only; add one of {list(FAULT_TARGETS)}")
 
     if args.obs:
         parallel.set_obs_default(True)
@@ -167,7 +204,14 @@ def main(argv: List[str] = None) -> int:
             _run_scenario(obs_session=obs_session,
                           trace_out=args.trace_out,
                           log_json=args.log_json,
-                          obs_metrics=args.obs_metrics)
+                          obs_metrics=args.obs_metrics,
+                          faults=faults)
+        elif target == "degradation":
+            report = run_degradation_experiment(
+                seed=args.seed, scale=args.scale, jobs=args.jobs,
+                fault_seed=(faults.fault_seed if faults is not None else 0),
+                mttr_s=(faults.mttr_s if faults is not None else 60.0))
+            print(report.render())
         elif target == "heterogeneity":
             report = run_heterogeneity_experiment(
                 group=WorkloadGroup.APP, trace_index=3,

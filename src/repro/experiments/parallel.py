@@ -37,6 +37,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, TextIO, Tuple
 
 from repro.cluster.config import ClusterConfig
+from repro.faults.config import FaultConfig
 from repro.metrics.summary import RunSummary
 from repro.workload.programs import WorkloadGroup
 
@@ -57,6 +58,10 @@ class RunSpec:
     scale: float = 1.0
     config: Optional[ClusterConfig] = None
     policy_kwargs: Optional[Dict[str, object]] = None
+    #: Failure model of the run (overrides ``config.faults``); crosses
+    #: the process boundary by value like everything else in the spec,
+    #: so serial and parallel sweeps replay identical fault schedules.
+    faults: Optional[FaultConfig] = None
     label: Optional[str] = None
     #: Attach a metrics-only ObsSession to the run; the snapshot lands
     #: in ``summary.extra`` under ``obs.`` and crosses the process
@@ -65,6 +70,9 @@ class RunSpec:
 
     def describe(self) -> str:
         extras = f" kwargs={self.policy_kwargs}" if self.policy_kwargs else ""
+        if self.faults is not None:
+            extras += (f" faults(mtbf={self.faults.mtbf_s}, "
+                       f"fault_seed={self.faults.fault_seed})")
         return (f"{self.group.value}-trace-{self.trace_index} "
                 f"policy={self.policy} seed={self.seed} "
                 f"scale={self.scale}{extras}")
@@ -165,7 +173,8 @@ def _execute_timed(spec: RunSpec) -> Tuple[RunSummary, SpecTiming]:
     started = time.perf_counter()
     result = run_experiment(spec.group, spec.trace_index, policy=spec.policy,
                             seed=spec.seed, config=spec.config,
-                            scale=spec.scale, policy_kwargs=kwargs, obs=obs)
+                            scale=spec.scale, policy_kwargs=kwargs, obs=obs,
+                            faults=spec.faults)
     wall_s = time.perf_counter() - started
     timing = SpecTiming(label=spec.label or spec.describe(), wall_s=wall_s,
                         events=result.cluster.sim.event_count)

@@ -17,6 +17,7 @@ from typing import Dict, List, Optional, Type
 from repro.cluster.cluster import Cluster
 from repro.cluster.config import APP_CLUSTER, SPEC_CLUSTER, ClusterConfig
 from repro.core.reconfiguration import VReconfiguration
+from repro.faults.config import FaultConfig
 from repro.metrics.collector import MetricsCollector
 from repro.metrics.summary import RunSummary, summarize_run
 from repro.obs.session import ObsSession
@@ -49,6 +50,24 @@ def default_config(group: WorkloadGroup) -> ClusterConfig:
     """The paper's cluster for a workload group (fresh copy)."""
     base = SPEC_CLUSTER if group is WorkloadGroup.SPEC else APP_CLUSTER
     return base.replace()
+
+
+def build_fault_config(args) -> Optional[FaultConfig]:
+    """Fold the shared ``--faults``/``--mtbf``/``--mttr``/
+    ``--fault-seed``/``--crash-policy`` CLI flags into a
+    :class:`FaultConfig` (None when none of them was given)."""
+    given = {}
+    if getattr(args, "mtbf", None) is not None:
+        given["mtbf_s"] = args.mtbf
+    if getattr(args, "mttr", None) is not None:
+        given["mttr_s"] = args.mttr
+    if getattr(args, "fault_seed", None) is not None:
+        given["fault_seed"] = args.fault_seed
+    if getattr(args, "crash_policy", None) is not None:
+        given["crash_policy"] = args.crash_policy
+    if not given and not getattr(args, "faults", False):
+        return None
+    return FaultConfig(**given)
 
 
 @dataclass
@@ -129,6 +148,10 @@ def run_trace(trace: Trace, policy_name: str,
         cluster.sim.run()
     with phase("summarize"):
         summary = summarize_run(policy, jobs, collector, trace.name)
+    if cluster.faults is not None:
+        # Fault counters cross the process boundary with the summary;
+        # fault-free runs add no keys (byte-identical extras, pinned).
+        summary.extra.update(cluster.faults.extra_metrics())
     if obs is not None:
         obs.finalize(summary)
     return ExperimentResult(summary=summary, cluster=cluster,
@@ -141,17 +164,21 @@ def run_experiment(group: WorkloadGroup, trace_index: int,
                    scale: float = 1.0,
                    policy_kwargs: Optional[dict] = None,
                    nodes: Optional[int] = None,
-                   obs: Optional[ObsSession] = None
+                   obs: Optional[ObsSession] = None,
+                   faults: Optional[FaultConfig] = None
                    ) -> ExperimentResult:
     """Generate the published trace and run it under ``policy``.
 
     ``nodes`` overrides the cluster size (the trace is regenerated for
     that topology, so home-node placement stays uniform).  ``obs``
-    instruments the run (see :func:`run_trace`).
+    instruments the run (see :func:`run_trace`).  ``faults`` overrides
+    the config's failure model (see :mod:`repro.faults`).
     """
     cfg = config if config is not None else default_config(group)
     if nodes is not None:
         cfg = cfg.replace(num_nodes=nodes)
+    if faults is not None:
+        cfg = cfg.replace(faults=faults)
     phase = obs.phase if obs is not None else (lambda name: nullcontext())
     with phase("build_trace"):
         trace = build_trace(group, trace_index, seed=seed,
@@ -189,6 +216,25 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--no-index", action="store_true",
                         help="use the unindexed (seed) candidate-"
                              "selection path")
+    parser.add_argument("--faults", action="store_true",
+                        help="enable fault injection with default "
+                             "parameters (implied by the fault "
+                             "options below)")
+    parser.add_argument("--mtbf", type=float, default=None, metavar="S",
+                        help="mean time between node crashes in "
+                             "seconds (default 3600 when faults are "
+                             "enabled)")
+    parser.add_argument("--mttr", type=float, default=None, metavar="S",
+                        help="mean time to repair a crashed node in "
+                             "seconds (default 60)")
+    parser.add_argument("--fault-seed", type=int, default=None,
+                        metavar="N",
+                        help="seed of the fault streams, independent "
+                             "of the workload seed (default 0)")
+    parser.add_argument("--crash-policy", default=None,
+                        choices=["requeue", "checkpoint"],
+                        help="fate of jobs on a crashed node "
+                             "(default requeue)")
     parser.add_argument("--profile", action="store_true",
                         help="wrap the run in cProfile and print the "
                              "top-25 cumulative entries")
@@ -215,6 +261,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         config = config.replace(num_nodes=args.nodes)
     if args.no_index:
         config = config.replace(indexed_selection=False)
+    faults = build_fault_config(args)
+    if faults is not None:
+        config = config.replace(faults=faults)
 
     want_obs = (args.obs or args.trace_out or args.log_json
                 or args.obs_metrics)
@@ -249,6 +298,11 @@ def main(argv: Optional[List[str]] = None) -> int:
           f"makespan {summary.makespan_s:.1f}s, "
           f"avg slowdown {summary.average_slowdown:.2f}, "
           f"{summary.migrations} migrations, {events} events")
+    fault_keys = sorted(k for k in summary.extra if k.startswith("fault."))
+    if fault_keys:
+        print("faults: " + ", ".join(
+            f"{key[len('fault.'):]}={summary.extra[key]:g}"
+            for key in fault_keys))
 
     if obs is not None:
         snapshot = obs.finalize()

@@ -112,15 +112,19 @@ def run_blocking_scenario(policy: str, seed: int = 0,
                           num_nodes: int = 32,
                           config: Optional[ClusterConfig] = None,
                           obs=None,
+                          faults=None,
                           **trace_kwargs) -> ExperimentResult:
     """Run the constructed scenario batch under ``policy``.
 
     ``obs`` is an optional :class:`~repro.obs.session.ObsSession`; the
     scenario is the canonical source of a reservation-bearing Perfetto
     trace because its V-Reconfiguration run deterministically reserves
-    and rescues (see module docstring).
+    and rescues (see module docstring).  ``faults`` overrides the
+    config's failure model (see :mod:`repro.faults`).
     """
     cfg = config if config is not None else SCENARIO_CLUSTER.replace()
+    if faults is not None:
+        cfg = cfg.replace(faults=faults)
     trace = build_blocking_trace(num_nodes=cfg.num_nodes, seed=seed,
                                  **trace_kwargs)
     return run_trace(trace, policy, cfg, obs=obs)

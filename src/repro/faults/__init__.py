@@ -1,0 +1,20 @@
+"""Seeded fault injection for cluster simulations.
+
+The package separates the *what* from the *when*:
+
+* :mod:`repro.faults.config` — :class:`FaultConfig` /
+  :class:`FaultPlan`: a declarative, hashable description of the
+  failure model (crash/recovery schedules, lossy load-information
+  exchange, migration transfer failures).  Dependency-free so that
+  configs and run specs can import it without pulling in the
+  simulation stack.
+* :mod:`repro.faults.injector` — :class:`FaultInjector`: the runtime
+  that executes a plan against a live cluster and drives the
+  resilience hooks (job requeue, directory eviction, reservation
+  abort, migration retry policy).
+"""
+
+from repro.faults.config import FaultConfig, FaultPlan, NodeOutage
+from repro.faults.injector import FaultInjector
+
+__all__ = ["FaultConfig", "FaultPlan", "NodeOutage", "FaultInjector"]

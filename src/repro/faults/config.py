@@ -1,0 +1,153 @@
+"""Declarative failure model: what can go wrong, and how often.
+
+A :class:`FaultConfig` describes three independent fault classes:
+
+* **node crashes** — fail-stop outages, either stochastic
+  (exponential inter-failure times with mean ``mtbf_s`` per node and
+  exponential repair times with mean ``mttr_s``) or scripted through
+  an explicit :class:`FaultPlan`;
+* **lossy load information** — each node's contribution to a
+  load-exchange round may be dropped (retried next round) or delayed
+  by a fixed latency, modelling lost/slow load-index messages;
+* **migration transfer failures** — a migration's image transfer may
+  fail in flight; the scheduling layer retries with capped
+  exponential backoff and finally falls back to local execution.
+
+Everything is driven from ``fault_seed`` through its own
+:class:`~repro.sim.rng.RandomStreams`, so fault arrival patterns are
+reproducible and independent of the workload seed: the same
+``(seed, fault_seed)`` pair replays the same run, and changing only
+``fault_seed`` re-rolls the failures under an identical workload.
+
+This module is dependency-free (plain dataclasses) so cluster/run
+configuration can import it without touching simulation code.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+#: Crash policies: what happens to the work a dying node was running.
+CRASH_POLICIES = ("requeue", "checkpoint")
+
+
+@dataclass(frozen=True)
+class NodeOutage:
+    """One scripted fail-stop interval for one node.
+
+    ``end_s=None`` means the node never recovers within the run.
+    """
+
+    node_id: int
+    start_s: float
+    end_s: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if self.node_id < 0:
+            raise ValueError("node_id must be non-negative")
+        if self.start_s < 0:
+            raise ValueError("start_s must be non-negative")
+        if self.end_s is not None and self.end_s <= self.start_s:
+            raise ValueError("end_s must be after start_s")
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An explicit outage script (overrides stochastic crashes).
+
+    Outages for one node must not overlap; they may appear in any
+    order (validation sorts per node).
+    """
+
+    outages: Tuple[NodeOutage, ...] = ()
+
+    def __post_init__(self) -> None:
+        per_node: dict = {}
+        for outage in self.outages:
+            per_node.setdefault(outage.node_id, []).append(outage)
+        for node_id, entries in per_node.items():
+            entries.sort(key=lambda o: o.start_s)
+            for earlier, later in zip(entries, entries[1:]):
+                if earlier.end_s is None or later.start_s < earlier.end_s:
+                    raise ValueError(
+                        f"overlapping outages for node {node_id}: "
+                        f"{earlier} and {later}")
+
+    def for_node(self, node_id: int) -> Tuple[NodeOutage, ...]:
+        """This node's outages in start order."""
+        return tuple(sorted(
+            (o for o in self.outages if o.node_id == node_id),
+            key=lambda o: o.start_s))
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Full failure model of one run (hashable, picklable)."""
+
+    #: Per-node mean time between failures (s); ``None`` disables
+    #: stochastic crashes (scripted ``plan`` outages still apply).
+    mtbf_s: Optional[float] = 3600.0
+    #: Mean time to repair a crashed node (s).
+    mttr_s: float = 60.0
+    #: Root seed of the fault streams (independent of the workload seed).
+    fault_seed: int = 0
+    #: ``"requeue"``: work on a crashed node is lost and the job
+    #: restarts from scratch; ``"checkpoint"``: progress survives and
+    #: the job resumes where it stopped.
+    crash_policy: str = "requeue"
+    #: Explicit outage script; when set, stochastic crashes are off.
+    plan: Optional[FaultPlan] = None
+
+    # --- lossy load-information exchange ------------------------------
+    #: Probability a node's exchange-round update is lost (the node
+    #: stays dirty and is retried next round).
+    loadinfo_drop_prob: float = 0.0
+    #: Probability a node's update is delayed instead of delivered
+    #: immediately, and the delay applied to it.
+    loadinfo_delay_prob: float = 0.0
+    loadinfo_delay_s: float = 0.5
+
+    # --- migration transfer failures ----------------------------------
+    #: Probability any one migration transfer fails in flight.
+    migration_failure_prob: float = 0.0
+    #: Retries before a migration falls back to local execution.
+    migration_max_retries: int = 3
+    #: Capped exponential backoff between retries:
+    #: ``min(cap, base * 2**attempt)``.
+    migration_backoff_base_s: float = 0.5
+    migration_backoff_cap_s: float = 8.0
+
+    def __post_init__(self) -> None:
+        if self.mtbf_s is not None and self.mtbf_s <= 0:
+            raise ValueError("mtbf_s must be positive (or None)")
+        if self.mttr_s <= 0:
+            raise ValueError("mttr_s must be positive")
+        if self.crash_policy not in CRASH_POLICIES:
+            raise ValueError(f"crash_policy must be one of {CRASH_POLICIES}")
+        for name in ("loadinfo_drop_prob", "loadinfo_delay_prob",
+                     "migration_failure_prob"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1]")
+        if self.loadinfo_delay_s < 0:
+            raise ValueError("loadinfo_delay_s must be non-negative")
+        if self.migration_max_retries < 0:
+            raise ValueError("migration_max_retries must be >= 0")
+        if self.migration_backoff_base_s < 0:
+            raise ValueError("migration_backoff_base_s must be >= 0")
+        if self.migration_backoff_cap_s < 0:
+            raise ValueError("migration_backoff_cap_s must be >= 0")
+
+    @property
+    def crashes_enabled(self) -> bool:
+        return self.plan is not None or self.mtbf_s is not None
+
+    @property
+    def loadinfo_faults_enabled(self) -> bool:
+        return self.loadinfo_drop_prob > 0 or self.loadinfo_delay_prob > 0
+
+    def replace(self, **changes) -> "FaultConfig":
+        """Copy with ``changes`` applied."""
+        return dataclasses.replace(self, **changes)

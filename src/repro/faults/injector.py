@@ -1,0 +1,230 @@
+"""Runtime fault injection: executes a :class:`FaultConfig` plan.
+
+One :class:`FaultInjector` is owned by the cluster (constructed when
+``ClusterConfig.faults`` is set) and drives the three fault classes
+against the live simulation:
+
+* **crashes** — fail-stop a workstation: its running jobs are torn
+  off, any active reservation on it is aborted, the load directory
+  evicts it from both candidate orders, and the lost jobs are handed
+  to the scheduling policy for requeue (or checkpoint-restart).  On
+  recovery the node is re-admitted to the directory and the policy
+  gets a drain notification so pending jobs can use it again.
+* **lossy load information** — the directory consults
+  :meth:`loadinfo_disposition` per refreshed node; drops keep the
+  node dirty for the next round, delays re-apply the stale snapshot
+  after the configured latency.
+* **migration transfer failures** — the scheduling layer consults
+  :meth:`migration_transfer_fails` once per transfer attempt and
+  reports retry/fallback outcomes back for accounting.
+
+All randomness comes from :class:`~repro.sim.rng.RandomStreams`
+rooted at ``FaultConfig.fault_seed`` — one stream per node for crash
+schedules plus one each for load-info and migration draws — so fault
+timing is platform-stable, independent of the workload seed, and
+unperturbed by which *other* fault classes are enabled.
+
+Crash events are daemon events (a pending outage never keeps an idle
+simulation alive), but recovery events are not: jobs requeued by a
+crash may be placeable only after the node returns, so the recovery
+must count as pending work or the simulation would drain with jobs
+stranded in the pending queue.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, Optional, Tuple
+
+from repro.faults.config import FaultConfig, NodeOutage
+from repro.sim.rng import RandomStreams
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.workstation import Workstation
+
+
+class FaultInjector:
+    """Executes one run's failure model against its cluster."""
+
+    def __init__(self, cluster: "Cluster", config: FaultConfig):
+        self.cluster = cluster
+        self.config = config
+        self.sim = cluster.sim
+        self._streams = RandomStreams(config.fault_seed)
+        self._loadinfo_rng = self._streams.stream("loadinfo")
+        self._migration_rng = self._streams.stream("migration")
+        #: Bound by :class:`~repro.scheduling.base.LoadSharingPolicy`
+        #: at construction; receives lost jobs for requeue.
+        self.policy = None
+        #: Bound by :class:`~repro.core.reservation.ReservationManager`;
+        #: aborts reservations on the crashed node.
+        self.reservation_manager = None
+        self.counters: Dict[str, int] = {}
+        #: CPU-seconds of progress discarded by ``requeue`` crashes.
+        self.wasted_work_s = 0.0
+        self._obs = cluster.obs.channel("fault.injection")
+        if config.loadinfo_faults_enabled:
+            cluster.directory.fault_hook = self.loadinfo_disposition
+        if config.plan is not None:
+            for outage in config.plan.outages:
+                if outage.node_id >= cluster.num_nodes:
+                    raise ValueError(
+                        f"outage for node {outage.node_id} but the "
+                        f"cluster has {cluster.num_nodes} nodes")
+                self.sim.schedule_at(
+                    outage.start_s,
+                    lambda o=outage: self._on_crash(
+                        self.cluster.nodes[o.node_id], outage=o),
+                    priority=1, daemon=True)
+        elif config.mtbf_s is not None:
+            for node in cluster.nodes:
+                self._schedule_crash(node)
+
+    # ------------------------------------------------------------------
+    # crash / recovery
+    # ------------------------------------------------------------------
+    def _node_rng(self, node: "Workstation"):
+        return self._streams.stream(f"crash-{node.node_id}")
+
+    def _schedule_crash(self, node: "Workstation") -> None:
+        delay = self._node_rng(node).expovariate(1.0 / self.config.mtbf_s)
+        self.sim.schedule(delay, lambda: self._on_crash(node),
+                          priority=1, daemon=True)
+
+    def _on_crash(self, node: "Workstation",
+                  outage: Optional[NodeOutage] = None) -> None:
+        if not node.alive:  # pragma: no cover - plan validation forbids
+            return
+        self._count("crashes")
+        lost = node.crash()
+        obs = self._obs
+        if obs.enabled:
+            obs.emit(self.sim.now, "crash", node=node.node_id,
+                     lost_jobs=len(lost),
+                     policy=self.config.crash_policy)
+        manager = self.reservation_manager
+        if manager is not None:
+            aborted = manager.node_crashed(node.node_id)
+            if aborted is not None:
+                self._count("reservation_aborts")
+                if obs.enabled:
+                    obs.emit(self.sim.now, "reservation-abort",
+                             node=node.node_id,
+                             reservation=aborted.reservation_id)
+        self.cluster.directory.evict(node.node_id)
+        if lost:
+            self._count("lost_jobs", len(lost))
+            for job in lost:
+                job.dedicated = False
+                if self.config.crash_policy == "requeue":
+                    self.wasted_work_s += job.progress_s
+                    job.progress_s = 0.0
+            if self.policy is not None:
+                self._count("requeues", len(lost))
+                self.policy.requeue_lost_jobs(node, lost)
+        if outage is not None:
+            if outage.end_s is not None:
+                self.sim.schedule_at(outage.end_s,
+                                     lambda: self._on_recovery(node))
+        else:
+            downtime = self._node_rng(node).expovariate(
+                1.0 / self.config.mttr_s)
+            self.sim.schedule(downtime, lambda: self._on_recovery(node))
+
+    def _on_recovery(self, node: "Workstation") -> None:
+        if node.alive:  # pragma: no cover - schedules never overlap
+            return
+        self._count("recoveries")
+        node.recover()
+        self.cluster.directory.readmit(node.node_id)
+        obs = self._obs
+        if obs.enabled:
+            obs.emit(self.sim.now, "recover", node=node.node_id)
+        # Second drain pass now that the directory lists the node again
+        # (recover() itself notified before the readmission).
+        self.cluster.notify_node_changed(node)
+        if self.config.plan is None and self.config.mtbf_s is not None:
+            self._schedule_crash(node)
+
+    # ------------------------------------------------------------------
+    # lossy load information
+    # ------------------------------------------------------------------
+    def loadinfo_disposition(self, node_id: int) -> Tuple[str, float]:
+        """Fate of one node's exchange-round update.
+
+        Returns ``(action, delay_s)`` with action one of ``"deliver"``,
+        ``"drop"``, ``"delay"``.  One uniform draw decides: drops win
+        the first ``loadinfo_drop_prob`` of the unit interval, delays
+        the next ``loadinfo_delay_prob``.
+        """
+        cfg = self.config
+        roll = self._loadinfo_rng.random()
+        if roll < cfg.loadinfo_drop_prob:
+            self._count("loadinfo_drops")
+            obs = self._obs
+            if obs.enabled:
+                obs.emit(self.sim.now, "loadinfo-drop", node=node_id)
+            return "drop", 0.0
+        if roll < cfg.loadinfo_drop_prob + cfg.loadinfo_delay_prob:
+            self._count("loadinfo_delays")
+            obs = self._obs
+            if obs.enabled:
+                obs.emit(self.sim.now, "loadinfo-delay", node=node_id,
+                         delay_s=cfg.loadinfo_delay_s)
+            return "delay", cfg.loadinfo_delay_s
+        return "deliver", 0.0
+
+    # ------------------------------------------------------------------
+    # migration transfer failures
+    # ------------------------------------------------------------------
+    def migration_transfer_fails(self) -> bool:
+        """Draw whether the next migration transfer fails in flight."""
+        prob = self.config.migration_failure_prob
+        if prob <= 0.0:
+            return False
+        return self._migration_rng.random() < prob
+
+    def record_migration_failure(self, job, source: "Workstation",
+                                 destination: "Workstation",
+                                 attempt: int) -> None:
+        self._count("migration_failures")
+        obs = self._obs
+        if obs.enabled:
+            obs.emit(self.sim.now, "migration-failed", job=job.job_id,
+                     source=source.node_id, dest=destination.node_id,
+                     attempt=attempt, dest_alive=destination.alive)
+
+    def record_migration_retry(self, job, destination: "Workstation",
+                               attempt: int, backoff_s: float) -> None:
+        self._count("migration_retries")
+        obs = self._obs
+        if obs.enabled:
+            obs.emit(self.sim.now, "migration-retry", job=job.job_id,
+                     dest=destination.node_id, attempt=attempt,
+                     backoff_s=backoff_s)
+
+    def record_migration_fallback(self, job, source: "Workstation") -> None:
+        self._count("migration_fallbacks")
+        obs = self._obs
+        if obs.enabled:
+            obs.emit(self.sim.now, "migration-fallback", job=job.job_id,
+                     source=source.node_id, source_alive=source.alive)
+
+    def record_inflight_requeue(self, job) -> None:
+        self._count("inflight_requeues")
+        obs = self._obs
+        if obs.enabled:
+            obs.emit(self.sim.now, "inflight-requeue", job=job.job_id)
+
+    # ------------------------------------------------------------------
+    # accounting
+    # ------------------------------------------------------------------
+    def _count(self, key: str, by: int = 1) -> None:
+        self.counters[key] = self.counters.get(key, 0) + by
+
+    def extra_metrics(self) -> Dict[str, float]:
+        """``fault.``-prefixed counters for ``RunSummary.extra``."""
+        metrics = {f"fault.{key}": float(value)
+                   for key, value in self.counters.items()}
+        metrics["fault.wasted_work_s"] = self.wasted_work_s
+        return metrics

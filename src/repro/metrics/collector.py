@@ -21,8 +21,9 @@ class ClusterSample:
 
     time: float
     total_idle_memory_mb: float
-    #: Active job counts per node; reserved nodes hold None so that the
-    #: balance skew is computed "among all non-reserved workstations".
+    #: Active job counts per node; reserved (and crashed) nodes hold
+    #: None so that the balance skew is computed "among all
+    #: non-reserved workstations".
     jobs_per_node: Tuple[Optional[int], ...]
     num_reserved: int
     pending_jobs: int
@@ -66,7 +67,7 @@ class MetricsCollector:
         """Take one sample immediately (also used by tests)."""
         cluster = self.cluster
         jobs_per_node = tuple(
-            None if node.reserved else node.num_running
+            None if (node.reserved or not node.alive) else node.num_running
             for node in cluster.nodes)
         pending = self.pending_probe() if self.pending_probe else 0
         sample = ClusterSample(

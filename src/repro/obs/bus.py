@@ -35,6 +35,7 @@ CHANNELS: Tuple[str, ...] = (
     "reconfig.reservation",   # reservation lifecycle + backoff cancels
     "loadinfo.exchange",      # load-directory exchange rounds
     "memory.fault",           # per-node thrashing transitions
+    "fault.injection",        # injected crashes/recoveries/losses
 )
 
 

@@ -19,6 +19,9 @@ channel                     metrics
                             ``reservation_lifetime_s`` histogram
 ``loadinfo.exchange``       ``loadinfo_exchanges``, ``loadinfo_nodes_refreshed``
 ``memory.fault``            ``thrashing_transitions``
+``fault.injection``         ``fault_<kind>`` counters (crash, recover,
+                            migration_failed, ...) plus
+                            ``fault_lost_jobs``
 ``sim.event``               ``sim_events_observed`` (opt-in; the exact
                             executed count is snapshotted from the
                             engine at finalize time for free)
@@ -117,6 +120,12 @@ class ObsSession:
                 event.data.get("refreshed", 0))
         elif channel == "memory.fault":
             registry.counter("thrashing_transitions").inc()
+        elif channel == "fault.injection":
+            kind = event.kind.replace("-", "_")
+            registry.counter(f"fault_{kind}").inc()
+            if event.kind == "crash":
+                registry.counter("fault_lost_jobs").inc(
+                    event.data.get("lost_jobs", 0))
 
     def _observe_sim_event(self, event: ObsEvent) -> None:
         self.registry.counter("sim_events_observed").inc()

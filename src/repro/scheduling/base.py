@@ -83,6 +83,8 @@ class LoadSharingPolicy:
         self._obs_place = cluster.obs.channel("cluster.placement")
         self._obs_migrate = cluster.obs.channel("cluster.migration")
         self._obs_block = cluster.obs.channel("reconfig.blocking")
+        if cluster.faults is not None:
+            cluster.faults.policy = self
         cluster.on_node_changed(self._on_node_changed)
         self._schedule_monitor()
 
@@ -137,6 +139,12 @@ class LoadSharingPolicy:
 
         def arrive() -> None:
             job.acct.migration_s += delay
+            if not node.alive:
+                # The destination crashed while the submission was in
+                # flight: release the slot and requeue the job.
+                node.inbound_jobs -= 1
+                self._requeue_in_flight(job)
+                return
             node.inbound_jobs -= 1
             node.add_job(job)
             self.cluster.notify_node_changed(node)
@@ -232,8 +240,18 @@ class LoadSharingPolicy:
 
     def migrate(self, job: Job, source: Workstation,
                 destination: Workstation,
-                on_arrival: Optional[Callable[[Job], None]] = None) -> float:
-        """Preemptively migrate ``job``; returns the charged delay."""
+                on_arrival: Optional[Callable[[Job], None]] = None,
+                on_abandoned: Optional[Callable[[Job], None]] = None
+                ) -> float:
+        """Preemptively migrate ``job``; returns the charged delay.
+
+        Under fault injection a transfer may fail in flight (or land
+        on a node that died meanwhile); failed transfers retry with
+        capped exponential backoff and finally fall back to local
+        execution — ``on_abandoned`` fires once if the job never
+        reaches ``destination`` (so reservation bookkeeping can undo
+        its assignment).
+        """
         if job.state is not JobState.RUNNING:
             raise ValueError(f"cannot migrate job {job.job_id} in state "
                              f"{job.state}")
@@ -243,17 +261,8 @@ class LoadSharingPolicy:
         job.migrations += 1
         self.stats.migrations += 1
         self._last_migration[job.job_id] = self.sim.now
-        destination.inbound_jobs += 1
-
-        def arrive() -> None:
-            job.acct.migration_s += delay
-            destination.inbound_jobs -= 1
-            destination.add_job(job)
-            if on_arrival is not None:
-                on_arrival(job)
-            self.cluster.notify_node_changed(destination)
-
-        delay = self.cluster.network.migrate(image_mb, arrive)
+        delay = self._start_transfer(job, source, destination, image_mb,
+                                     on_arrival, on_abandoned, attempt=0)
         obs = self._obs_migrate
         if obs.enabled:
             obs.emit(self.sim.now, "migrate", job=job.job_id,
@@ -262,6 +271,114 @@ class LoadSharingPolicy:
                      dedicated=job.dedicated)
         self.cluster.notify_node_changed(source)
         return delay
+
+    def _start_transfer(self, job: Job, source: Workstation,
+                        destination: Workstation, image_mb: float,
+                        on_arrival: Optional[Callable[[Job], None]],
+                        on_abandoned: Optional[Callable[[Job], None]],
+                        attempt: int) -> float:
+        """One transfer attempt of a migrating job's memory image."""
+        faults = self.cluster.faults
+        failed = faults is not None and faults.migration_transfer_fails()
+        destination.inbound_jobs += 1
+
+        def arrive() -> None:
+            if failed or not destination.alive:
+                # The image was lost in flight, or the destination died
+                # while it was on the wire.  The time is spent either
+                # way; release the slot and decide on a retry.
+                job.acct.migration_s += delay
+                destination.inbound_jobs -= 1
+                self._transfer_failed(job, source, destination, image_mb,
+                                      on_arrival, on_abandoned, attempt)
+                return
+            job.acct.migration_s += delay
+            destination.inbound_jobs -= 1
+            destination.add_job(job)
+            if on_arrival is not None:
+                on_arrival(job)
+            self.cluster.notify_node_changed(destination)
+
+        delay = self.cluster.network.migrate(image_mb, arrive)
+        return delay
+
+    def _transfer_failed(self, job: Job, source: Workstation,
+                         destination: Workstation, image_mb: float,
+                         on_arrival: Optional[Callable[[Job], None]],
+                         on_abandoned: Optional[Callable[[Job], None]],
+                         attempt: int) -> None:
+        faults = self.cluster.faults
+        cfg = faults.config
+        faults.record_migration_failure(job, source, destination, attempt)
+        if attempt < cfg.migration_max_retries:
+            backoff = min(cfg.migration_backoff_cap_s,
+                          cfg.migration_backoff_base_s * (2.0 ** attempt))
+            faults.record_migration_retry(job, destination, attempt + 1,
+                                          backoff)
+            self.sim.schedule(
+                backoff,
+                lambda: self._retry_transfer(job, source, destination,
+                                             image_mb, on_arrival,
+                                             on_abandoned, attempt + 1))
+            return
+        self._abandon_migration(job, source, on_abandoned)
+
+    def _retry_transfer(self, job: Job, source: Workstation,
+                        destination: Workstation, image_mb: float,
+                        on_arrival: Optional[Callable[[Job], None]],
+                        on_abandoned: Optional[Callable[[Job], None]],
+                        attempt: int) -> None:
+        """Backoff elapsed: re-verify the destination, then re-send.
+
+        The reserved flag is deliberately *not* re-checked: reservation
+        migrations legitimately target a reserved workstation, and for
+        ordinary migrations a reservation that appeared mid-retry
+        still leaves the capacity checks authoritative.
+        """
+        if (destination.alive and destination.has_free_slot
+                and destination.idle_memory_mb
+                >= job.current_demand_mb - 1e-9):
+            self._start_transfer(job, source, destination, image_mb,
+                                 on_arrival, on_abandoned, attempt)
+            return
+        self._abandon_migration(job, source, on_abandoned)
+
+    def _abandon_migration(self, job: Job, source: Workstation,
+                           on_abandoned: Optional[Callable[[Job], None]]
+                           ) -> None:
+        """Retries exhausted (or the destination is gone): fall back
+        to local execution at the source, or requeue if the source
+        itself died meanwhile."""
+        faults = self.cluster.faults
+        if on_abandoned is not None:
+            on_abandoned(job)
+        job.dedicated = False
+        faults.record_migration_fallback(job, source)
+        if source.alive:
+            source.add_job(job)
+            self.cluster.notify_node_changed(source)
+        else:
+            self._requeue_in_flight(job)
+
+    def _requeue_in_flight(self, job: Job) -> None:
+        """An in-flight job lost its destination and has no live node
+        to fall back to: re-enter the submission path."""
+        self.cluster.faults.record_inflight_requeue(job)
+        job.state = JobState.PENDING
+        self._wait_started[job.job_id] = self.sim.now
+        if not self._try_place(job):
+            self._enqueue_pending(job)
+
+    def requeue_lost_jobs(self, node: Workstation,
+                          jobs: List[Job]) -> None:
+        """Crash-recovery hook (fault injection): jobs torn off a dead
+        ``node`` re-enter the submission path in their running order.
+        The injector has already applied the crash policy (progress
+        reset for ``requeue``, kept for ``checkpoint``)."""
+        for job in jobs:
+            self._wait_started[job.job_id] = self.sim.now
+            if not self._try_place(job):
+                self._enqueue_pending(job)
 
     # ------------------------------------------------------------------
     # policy hooks

@@ -27,23 +27,23 @@ class CpuBasedPolicy(LoadSharingPolicy):
         if self._indexed:
             ordered = directory.load_order_ids()
             # prefer the home node among equally loaded candidates
-            if home.has_free_slot and not home.reserved:
+            if home.alive and home.has_free_slot and not home.reserved:
                 if home.num_running <= directory.least_num_jobs():
                     return home
             for node_id in ordered:
                 node = self._live_node(node_id)
-                if node.has_free_slot and not node.reserved:
+                if node.alive and node.has_free_slot and not node.reserved:
                     return node
             return None
-        snaps = sorted(directory.snapshots(),
+        snaps = sorted((s for s in directory.snapshots() if s.alive),
                        key=lambda s: (s.num_jobs, s.node_id))
         # prefer the home node among equally loaded candidates
-        if home.has_free_slot and not home.reserved:
+        if home.alive and home.has_free_slot and not home.reserved:
             least = snaps[0].num_jobs if snaps else 0
             if home.num_running <= least:
                 return home
         for snap in snaps:
             node = self._live_node(snap.node_id)
-            if node.has_free_slot and not node.reserved:
+            if node.alive and node.has_free_slot and not node.reserved:
                 return node
         return None

@@ -21,6 +21,6 @@ class LocalPolicy(LoadSharingPolicy):
 
     def select_node(self, job: Job) -> Optional[Workstation]:
         home = self._live_node(job.home_node)
-        if home.has_free_slot:
+        if home.alive and home.has_free_slot:
             return home
         return None

@@ -114,7 +114,8 @@ class SuspensionPolicy(GLoadSharing):
             self.cluster.notify_node_changed(destination)
 
     def _least_loaded_node(self) -> Optional[Workstation]:
-        candidates = [n for n in self.cluster.nodes if not n.reserved]
+        candidates = [n for n in self.cluster.nodes
+                      if n.alive and not n.reserved]
         if not candidates:
             return None
         return min(candidates,

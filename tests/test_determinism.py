@@ -1,0 +1,128 @@
+"""Determinism harness for the fault-injection subsystem.
+
+Three layers of pins:
+
+* **golden pin** — with ``faults=None`` the simulator must produce
+  *byte-identical* summaries to the pre-fault-subsystem code; the
+  reference summaries live in ``tests/golden/summaries_prefaults.json``
+  (captured at the commit before ``repro.faults`` landed).  Every
+  fault hook on the hot path reduces to one bool/None check when
+  faults are off, and this pin is what enforces it.
+* **replay property** — for any ``(seed, fault_seed)`` pair, running
+  the same faulted scenario twice yields identical summaries (fault
+  schedules derive from ``fault_seed`` alone, never from wall clock or
+  iteration order).  Hypothesis drives the seed pairs.
+* **process-boundary property** — a faulted sweep executed through
+  worker processes returns summaries identical to the serial path
+  (the :class:`RunSpec` carries the :class:`FaultConfig` by value).
+"""
+
+import dataclasses
+import json
+import os
+
+from hypothesis import given, settings, strategies as st
+
+from repro.experiments.parallel import RunSpec, run_specs
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenario import run_blocking_scenario
+from repro.faults import FaultConfig
+from repro.workload.programs import WorkloadGroup
+
+GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden",
+                           "summaries_prefaults.json")
+
+#: A failure model that exercises every fault class in one run.
+#: ``checkpoint`` keeps runtimes bounded: under ``requeue`` at this
+#: MTBF a job longer than a few multiples of 300 s restarts from
+#: scratch nearly forever (the degradation tests cover ``requeue``
+#: at gentler rates).
+FULL_FAULTS = FaultConfig(mtbf_s=300.0, mttr_s=30.0,
+                          crash_policy="checkpoint",
+                          loadinfo_drop_prob=0.1,
+                          loadinfo_delay_prob=0.1,
+                          migration_failure_prob=0.3)
+
+
+def canonical(summary) -> dict:
+    """JSON round-trip of a RunSummary: the byte-identity currency.
+
+    Round-tripping normalizes containers the way the golden file was
+    written (dict keys become strings, tuples become lists), so equal
+    canonical forms means equal serialized bytes.
+    """
+    return json.loads(json.dumps(dataclasses.asdict(summary),
+                                 sort_keys=True))
+
+
+# ----------------------------------------------------------------------
+# golden pin: faults=None is byte-identical to the pre-faults code
+# ----------------------------------------------------------------------
+def test_faults_disabled_matches_prefaults_golden_trace_runs():
+    with open(GOLDEN_PATH) as stream:
+        golden = json.load(stream)
+    for policy in ("g-loadsharing", "v-reconfiguration"):
+        result = run_experiment(WorkloadGroup.SPEC, 3, policy=policy,
+                                seed=0, scale=0.25)
+        assert canonical(result.summary) == golden[f"spec-3-{policy}"], \
+            f"faults-disabled {policy} run diverged from pre-faults code"
+
+
+def test_faults_disabled_matches_prefaults_golden_scenario():
+    with open(GOLDEN_PATH) as stream:
+        golden = json.load(stream)
+    for policy in ("g-loadsharing", "v-reconfiguration"):
+        result = run_blocking_scenario(policy, seed=0)
+        assert canonical(result.summary) == golden[f"scenario-{policy}"], \
+            f"faults-disabled scenario {policy} diverged"
+
+
+def test_faults_disabled_adds_no_extra_keys():
+    result = run_experiment(WorkloadGroup.SPEC, 3, policy="g-loadsharing",
+                            seed=0, scale=0.25)
+    assert not any(key.startswith("fault.")
+                   for key in result.summary.extra)
+
+
+# ----------------------------------------------------------------------
+# replay property: (seed, fault_seed) fully determines the run
+# ----------------------------------------------------------------------
+@settings(max_examples=6, deadline=None)
+@given(seed=st.integers(0, 3), fault_seed=st.integers(0, 3),
+       policy=st.sampled_from(["g-loadsharing", "v-reconfiguration"]))
+def test_same_seed_pair_replays_identically(seed, fault_seed, policy):
+    faults = FULL_FAULTS.replace(fault_seed=fault_seed)
+
+    def run():
+        return run_blocking_scenario(policy, seed=seed, num_nodes=8,
+                                     faults=faults).summary
+
+    assert canonical(run()) == canonical(run())
+
+
+def test_fault_seed_actually_changes_the_fault_schedule():
+    def crashes(fault_seed):
+        faults = FULL_FAULTS.replace(fault_seed=fault_seed)
+        summary = run_blocking_scenario("g-loadsharing", seed=0,
+                                        num_nodes=8,
+                                        faults=faults).summary
+        return summary.extra["fault.crashes"], summary.makespan_s
+
+    assert crashes(0) != crashes(1)
+
+
+# ----------------------------------------------------------------------
+# process boundary: serial == parallel with faults enabled
+# ----------------------------------------------------------------------
+def test_faulted_sweep_identical_across_process_boundary():
+    specs = [RunSpec(group=WorkloadGroup.SPEC, trace_index=3,
+                     policy=policy, seed=0, scale=0.25,
+                     faults=FULL_FAULTS.replace(fault_seed=fault_seed))
+             for policy in ("g-loadsharing", "v-reconfiguration")
+             for fault_seed in (0, 1)]
+    serial = run_specs(specs, jobs=1)
+    parallel = run_specs(specs, jobs=2)
+    for spec, s, p in zip(specs, serial, parallel):
+        assert canonical(s) == canonical(p), \
+            f"serial != parallel for {spec.describe()}"
+    assert all(s.extra["fault.crashes"] > 0 for s in serial)

@@ -1,0 +1,377 @@
+"""Unit tests for the fault-injection subsystem (repro.faults).
+
+Covers the three fault classes end to end on tiny clusters: scripted
+and stochastic crashes with requeue/checkpoint recovery, load-info
+directory eviction/readmission and lossy exchange rounds, and
+migration transfer failures with retry/backoff/fallback — plus the
+config validation and the counter/obs surface.
+"""
+
+import pytest
+
+from helpers import job, tiny_cluster, tiny_config
+
+from repro.cluster import Cluster
+from repro.cluster.job import JobState
+from repro.faults import FaultConfig, FaultPlan, NodeOutage
+from repro.scheduling import GLoadSharing
+
+
+def outage_config(*outages, **overrides):
+    """A FaultConfig with scripted crashes only."""
+    defaults = dict(mtbf_s=None, plan=FaultPlan(tuple(outages)))
+    defaults.update(overrides)
+    return FaultConfig(**defaults)
+
+
+# ----------------------------------------------------------------------
+# config validation
+# ----------------------------------------------------------------------
+def test_fault_config_validation():
+    with pytest.raises(ValueError):
+        FaultConfig(mtbf_s=0.0)
+    with pytest.raises(ValueError):
+        FaultConfig(mttr_s=0.0)
+    with pytest.raises(ValueError):
+        FaultConfig(crash_policy="retry-harder")
+    with pytest.raises(ValueError):
+        FaultConfig(loadinfo_drop_prob=1.5)
+    with pytest.raises(ValueError):
+        FaultConfig(migration_failure_prob=-0.1)
+    with pytest.raises(ValueError):
+        FaultConfig(migration_max_retries=-1)
+    cfg = FaultConfig(mtbf_s=None)
+    assert not cfg.crashes_enabled
+    assert cfg.replace(plan=FaultPlan((NodeOutage(0, 1.0),))).crashes_enabled
+    assert not cfg.loadinfo_faults_enabled
+    assert cfg.replace(loadinfo_drop_prob=0.1).loadinfo_faults_enabled
+
+
+def test_node_outage_validation():
+    with pytest.raises(ValueError):
+        NodeOutage(node_id=-1, start_s=0.0)
+    with pytest.raises(ValueError):
+        NodeOutage(node_id=0, start_s=-1.0)
+    with pytest.raises(ValueError):
+        NodeOutage(node_id=0, start_s=5.0, end_s=5.0)
+    # Open-ended outage (never recovers) is fine.
+    NodeOutage(node_id=0, start_s=5.0, end_s=None)
+
+
+def test_fault_plan_rejects_overlap():
+    with pytest.raises(ValueError):
+        FaultPlan((NodeOutage(0, 0.0, 10.0), NodeOutage(0, 5.0, 15.0)))
+    with pytest.raises(ValueError):  # open-ended overlaps everything later
+        FaultPlan((NodeOutage(0, 0.0, None), NodeOutage(0, 5.0, 10.0)))
+    plan = FaultPlan((NodeOutage(0, 20.0, 30.0), NodeOutage(0, 0.0, 10.0),
+                      NodeOutage(1, 5.0, 15.0)))
+    assert [o.start_s for o in plan.for_node(0)] == [0.0, 20.0]
+
+
+def test_plan_outage_beyond_cluster_rejected():
+    cfg = tiny_config(num_nodes=2,
+                      faults=outage_config(NodeOutage(7, 1.0, 2.0)))
+    with pytest.raises(ValueError):
+        Cluster(cfg)
+
+
+# ----------------------------------------------------------------------
+# crash / recovery
+# ----------------------------------------------------------------------
+def test_crash_requeues_running_jobs_and_discards_progress():
+    cluster = tiny_cluster(
+        faults=outage_config(NodeOutage(0, 10.0, 50.0)))
+    policy = GLoadSharing(cluster)
+    victim = job(work=100.0, demand=30.0, home=0)
+    policy.submit(victim)
+    cluster.sim.run()
+    assert victim.state is JobState.FINISHED
+    # The job restarted from scratch somewhere else after the crash.
+    counters = cluster.faults.counters
+    assert counters["crashes"] == 1
+    assert counters["lost_jobs"] == 1
+    assert counters["requeues"] == 1
+    assert counters["recoveries"] == 1
+    assert cluster.faults.wasted_work_s == pytest.approx(10.0)
+    extras = cluster.faults.extra_metrics()
+    assert extras["fault.crashes"] == 1.0
+    assert extras["fault.wasted_work_s"] == pytest.approx(10.0)
+
+
+def test_checkpoint_policy_preserves_progress():
+    def finish_time(crash_policy):
+        cluster = tiny_cluster(faults=outage_config(
+            NodeOutage(0, 10.0, 50.0), crash_policy=crash_policy))
+        policy = GLoadSharing(cluster)
+        victim = job(work=100.0, demand=30.0, home=0)
+        policy.submit(victim)
+        cluster.sim.run()
+        assert victim.state is JobState.FINISHED
+        return cluster.sim.now, cluster.faults.wasted_work_s
+
+    requeue_end, requeue_wasted = finish_time("requeue")
+    checkpoint_end, checkpoint_wasted = finish_time("checkpoint")
+    assert requeue_wasted == pytest.approx(10.0)
+    assert checkpoint_wasted == 0.0
+    assert checkpoint_end < requeue_end
+
+
+def test_crash_evicts_from_directory_and_recovery_readmits():
+    cluster = tiny_cluster(
+        faults=outage_config(NodeOutage(2, 5.0, 20.0)))
+    GLoadSharing(cluster)
+    directory = cluster.directory
+    assert 2 in directory.accepting_ids()
+    cluster.sim.run(until=10.0)
+    assert not cluster.nodes[2].alive
+    assert 2 not in directory.accepting_ids()
+    assert 2 not in directory.load_order_ids()
+    assert not directory.snapshot(2).alive
+    cluster.sim.run(until=25.0)
+    assert cluster.nodes[2].alive
+    assert 2 in directory.accepting_ids()
+    assert 2 in directory.load_order_ids()
+
+
+def test_dead_node_rejects_jobs_and_reports_no_capacity():
+    cluster = tiny_cluster(faults=outage_config(NodeOutage(1, 1.0)))
+    cluster.sim.run(until=2.0)
+    node = cluster.nodes[1]
+    assert not node.alive
+    assert not node.accepting
+    assert node.idle_memory_mb == 0.0
+    with pytest.raises(ValueError):
+        node.add_job(job(home=1))
+    with pytest.raises(ValueError):
+        node.crash()  # already down
+    with pytest.raises(ValueError):
+        cluster.nodes[0].recover()  # never crashed
+
+
+def test_job_submitted_with_every_node_dead_waits_for_recovery():
+    cluster = tiny_cluster(num_nodes=2, faults=outage_config(
+        NodeOutage(0, 1.0, 60.0), NodeOutage(1, 1.0, 40.0)))
+    policy = GLoadSharing(cluster)
+    late = job(work=10.0, demand=20.0, home=0, submit=5.0)
+    cluster.sim.schedule_at(5.0, lambda: policy.submit(late))
+    cluster.sim.run(until=30.0)
+    # Both nodes down: the job cannot be placed anywhere.
+    assert late.state is JobState.PENDING
+    assert policy.pending_jobs == [late]
+    cluster.sim.run()
+    # Node 1 recovers at t=40 and the pending queue drains into it.
+    assert late.state is JobState.FINISHED
+    assert cluster.sim.now >= 40.0
+
+
+def test_stochastic_crashes_follow_fault_seed():
+    def counters(fault_seed):
+        cluster = tiny_cluster(faults=FaultConfig(
+            mtbf_s=50.0, mttr_s=5.0, fault_seed=fault_seed))
+        GLoadSharing(cluster)
+        cluster.sim.run(until=500.0)
+        return dict(cluster.faults.counters)
+
+    first = counters(0)
+    again = counters(0)
+    other = counters(1)
+    assert first["crashes"] > 0
+    assert first == again
+    assert first != other
+
+
+# ----------------------------------------------------------------------
+# lossy load information
+# ----------------------------------------------------------------------
+def test_loadinfo_drops_keep_snapshot_stale():
+    cluster = tiny_cluster(
+        load_exchange_interval_s=1.0,
+        faults=FaultConfig(mtbf_s=None, loadinfo_drop_prob=1.0))
+    node = cluster.nodes[0]
+    node.add_job(job(work=500.0, demand=30.0, home=0))
+    cluster.sim.run(until=3.5)
+    # Every exchange update was lost: the directory still shows the
+    # pre-job state, and the node stays dirty for the next round.
+    assert cluster.directory.snapshot(0).num_jobs == 0
+    assert cluster.faults.counters["loadinfo_drops"] >= 3
+
+
+def test_loadinfo_delay_applies_snapshot_late():
+    cluster = tiny_cluster(
+        load_exchange_interval_s=1.0,
+        faults=FaultConfig(mtbf_s=None, loadinfo_delay_prob=1.0,
+                           loadinfo_delay_s=0.5))
+    node = cluster.nodes[0]
+    node.add_job(job(work=500.0, demand=30.0, home=0))
+    cluster.sim.run(until=1.2)
+    assert cluster.directory.snapshot(0).num_jobs == 0  # still in flight
+    cluster.sim.run(until=1.6)
+    assert cluster.directory.snapshot(0).num_jobs == 1  # landed at 1.5
+    assert cluster.faults.counters["loadinfo_delays"] >= 1
+
+
+def test_delayed_snapshot_for_crashed_node_is_discarded():
+    cluster = tiny_cluster(
+        load_exchange_interval_s=1.0,
+        faults=FaultConfig(mtbf_s=None, plan=FaultPlan(
+            (NodeOutage(0, 1.2, None),)),
+            loadinfo_delay_prob=1.0, loadinfo_delay_s=0.5))
+    node = cluster.nodes[0]
+    node.add_job(job(work=500.0, demand=30.0, home=0))
+    # The t=1.0 round delays node 0's update to t=1.5; the node dies at
+    # t=1.2, so the late update must not resurrect it in the orders.
+    cluster.sim.run(until=2.0)
+    assert 0 not in cluster.directory.accepting_ids()
+    assert not cluster.directory.snapshot(0).alive
+
+
+# ----------------------------------------------------------------------
+# migration transfer failures
+# ----------------------------------------------------------------------
+def running_job_on(cluster, node_id, work=500.0, demand=30.0):
+    j = job(work=work, demand=demand, home=node_id)
+    cluster.nodes[node_id].add_job(j)
+    return j
+
+
+#: Migration tests use a fast link so a 30 MB image flies in ~0.25 s
+#: instead of the paper-default 25 s (10 Mbps).
+FAST_LINK = 1000.0
+
+
+def test_failed_transfers_retry_then_fall_back_to_source():
+    cluster = tiny_cluster(network_bandwidth_mbps=FAST_LINK,
+                           faults=FaultConfig(
+        mtbf_s=None, migration_failure_prob=1.0, migration_max_retries=2,
+        migration_backoff_base_s=0.5, migration_backoff_cap_s=8.0))
+    policy = GLoadSharing(cluster)
+    mover = running_job_on(cluster, 0)
+    policy.migrate(mover, cluster.nodes[0], cluster.nodes[1])
+    cluster.sim.run(until=30.0)
+    counters = cluster.faults.counters
+    assert counters["migration_failures"] == 3  # initial + 2 retries
+    assert counters["migration_retries"] == 2
+    assert counters["migration_fallbacks"] == 1
+    # The job fell back to local execution at the source.
+    assert mover.state is JobState.RUNNING
+    assert mover.node_id == 0
+
+
+def test_backoff_is_capped_exponential():
+    cluster = tiny_cluster(network_bandwidth_mbps=FAST_LINK,
+                           faults=FaultConfig(
+        mtbf_s=None, migration_failure_prob=1.0, migration_max_retries=4,
+        migration_backoff_base_s=1.0, migration_backoff_cap_s=3.0))
+    policy = GLoadSharing(cluster)
+    backoffs = []
+    original = cluster.faults.record_migration_retry
+
+    def spy(j, dest, attempt, backoff_s):
+        backoffs.append(backoff_s)
+        original(j, dest, attempt, backoff_s)
+
+    cluster.faults.record_migration_retry = spy
+    mover = running_job_on(cluster, 0)
+    policy.migrate(mover, cluster.nodes[0], cluster.nodes[1])
+    cluster.sim.run(until=60.0)
+    assert backoffs == [1.0, 2.0, 3.0, 3.0]  # 1, 2, 4->3, 8->3
+
+
+def test_transfer_lands_after_destination_recovers():
+    # Destination dies while the image is on the wire (30 MB at
+    # 1000 Mbps lands at ~0.35 s) and returns before the retry.
+    cluster = tiny_cluster(network_bandwidth_mbps=FAST_LINK,
+                           faults=outage_config(
+        NodeOutage(1, 0.2, 2.0), migration_backoff_base_s=4.0))
+    policy = GLoadSharing(cluster)
+    mover = running_job_on(cluster, 0)
+    policy.migrate(mover, cluster.nodes[0], cluster.nodes[1])
+    cluster.sim.run(until=30.0)
+    counters = cluster.faults.counters
+    assert counters["migration_failures"] == 1
+    assert counters["migration_retries"] == 1
+    assert "migration_fallbacks" not in counters
+    assert mover.node_id == 1
+    assert mover.state is JobState.RUNNING
+
+
+def test_fallback_requeues_when_source_also_died():
+    # Node 1 (destination) dies during the transfer and never returns;
+    # node 0 (source) dies before the transfer gives up, so the
+    # fallback path has no live source and the job re-enters submission.
+    cluster = tiny_cluster(network_bandwidth_mbps=FAST_LINK,
+                           faults=outage_config(
+        NodeOutage(1, 0.1, None), NodeOutage(0, 0.2, None),
+        migration_max_retries=0))
+    policy = GLoadSharing(cluster)
+    mover = running_job_on(cluster, 0, work=20.0)
+    policy.migrate(mover, cluster.nodes[0], cluster.nodes[1])
+    cluster.sim.run(until=5.0)
+    counters = cluster.faults.counters
+    assert counters["migration_fallbacks"] == 1
+    assert counters["inflight_requeues"] == 1
+    assert mover.state is JobState.RUNNING
+    assert mover.node_id in (2, 3)
+    cluster.sim.run()
+    assert mover.state is JobState.FINISHED
+
+
+def test_remote_submission_to_dying_node_requeues():
+    # The remote submission is in flight (r = 0.1 s) when the
+    # destination dies; the job must not strand.
+    cluster = tiny_cluster(faults=outage_config(NodeOutage(1, 0.05, None)))
+    policy = GLoadSharing(cluster)
+    # Force a remote placement to node 1 by filling node 0's slots.
+    for _ in range(3):
+        running_job_on(cluster, 0, demand=10.0)
+    newcomer = job(work=10.0, demand=10.0, home=0)
+    policy.submit(newcomer)
+    assert newcomer.state is JobState.MIGRATING  # remote submission
+    cluster.sim.run(until=50.0)
+    assert cluster.faults.counters["inflight_requeues"] >= 1
+    assert newcomer.state is not JobState.MIGRATING
+
+
+# ----------------------------------------------------------------------
+# observability
+# ----------------------------------------------------------------------
+def test_fault_events_reach_obs_and_metrics():
+    from repro.obs.session import ObsSession
+
+    obs = ObsSession(record_events=True, run_label="faults-test")
+    cluster = tiny_cluster(
+        faults=outage_config(NodeOutage(0, 10.0, 50.0)))
+    policy = GLoadSharing(cluster)
+    obs.attach(cluster)
+    policy.submit(job(work=100.0, demand=30.0, home=0))
+    cluster.sim.run()
+    kinds = [e.kind for e in obs.events if e.channel == "fault.injection"]
+    assert "crash" in kinds and "recover" in kinds
+    snapshot = obs.registry.snapshot()
+    assert snapshot["fault_crash"] == 1.0
+    assert snapshot["fault_recover"] == 1.0
+    assert snapshot["fault_lost_jobs"] == 1.0
+
+
+# ----------------------------------------------------------------------
+# degradation experiment (acceptance property)
+# ----------------------------------------------------------------------
+def test_degradation_v_reconfiguration_matches_or_beats_g():
+    from repro.experiments.degradation import (
+        goodput,
+        run_degradation_experiment,
+    )
+
+    report = run_degradation_experiment(
+        scale=0.25, mtbfs=(None, 3000.0, 1500.0), jobs=1)
+    for mtbf in report.mtbfs:
+        g = goodput(report.summaries[(mtbf, "g-loadsharing")])
+        v = goodput(report.summaries[(mtbf, "v-reconfiguration")])
+        assert v >= g, f"V goodput below G at mtbf={mtbf}"
+    # Crashes actually happened at finite MTBF and hurt goodput.
+    crashed = report.summaries[(1500.0, "g-loadsharing")]
+    assert crashed.extra["fault.crashes"] > 0
+    assert goodput(crashed) < goodput(
+        report.summaries[(None, "g-loadsharing")])
+    rendered = report.render()
+    assert "G goodput" in rendered and "V goodput" in rendered

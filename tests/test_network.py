@@ -2,7 +2,12 @@
 
 import pytest
 
+from helpers import job, tiny_cluster
+
+from repro.cluster.job import JobState
 from repro.cluster.network import BITS_PER_MB, Network
+from repro.faults import FaultConfig
+from repro.scheduling import GLoadSharing
 from repro.sim import Simulator
 
 
@@ -70,6 +75,90 @@ def test_transfer_statistics():
     sim.run()
     assert net.transfers == 2
     assert net.bytes_transferred == pytest.approx(15.0 * 1024 * 1024)
+
+
+def test_unit_convention_binary_mb_over_decimal_mbps():
+    """The pinned unit convention: images in *binary* megabytes
+    (8 * 1024 * 1024 bits) over *decimal* megabits per second
+    (1e6 bits/s).  1 MB at the paper's 10 Mbps Ethernet is exactly
+    0.8388608 s — anyone 'simplifying' either constant to the other
+    convention breaks this equality."""
+    net = Network(Simulator(), bandwidth_mbps=10.0)
+    assert net.transfer_time_s(1.0) == 0.8388608
+    assert BITS_PER_MB == 8.0 * 1024.0 * 1024.0
+    assert net.bandwidth_bps == 10.0 * 1e6
+
+
+def test_busy_s_is_exact_link_busy_time_under_contention():
+    sim = Simulator()
+    net = Network(sim, bandwidth_mbps=10.0, contention=True)
+    sizes = [10.0, 2.5, 30.0]
+    done = []
+    for size in sizes:
+        net.migrate(size, lambda: done.append(sim.now))
+    sim.run()
+    wire_total = sum(net.transfer_time_s(s) for s in sizes)
+    # The FIFO serializes transfers, so accumulated wire seconds equal
+    # the link's busy time: last bit leaves the wire at wire_total.
+    assert net.busy_s == pytest.approx(wire_total)
+    assert done[-1] == pytest.approx(wire_total + net.remote_cost_s)
+    # Additive mode accumulates the same wire seconds (a utilization
+    # figure there, not an occupancy interval).
+    sim2 = Simulator()
+    additive = Network(sim2, bandwidth_mbps=10.0, contention=False)
+    for size in sizes:
+        additive.migrate(size, lambda: None)
+    sim2.run()
+    assert additive.busy_s == pytest.approx(wire_total)
+
+
+def test_failed_transfer_retry_requeues_behind_later_transfers():
+    """Contention + fault injection: a failed transfer's retry does not
+    keep its old place at the head of the link — it re-enters the FIFO
+    behind transfers that queued during its backoff."""
+    cluster = tiny_cluster(
+        network_contention=True, network_bandwidth_mbps=100.0,
+        faults=FaultConfig(mtbf_s=None, migration_failure_prob=0.0,
+                           migration_max_retries=2,
+                           migration_backoff_base_s=1.0))
+    policy = GLoadSharing(cluster)
+    net = cluster.network
+    # Script the failure sequence: only job A's first attempt fails.
+    script = iter([True])
+    cluster.faults.migration_transfer_fails = (
+        lambda: next(script, False))
+    job_a = job(work=500.0, demand=30.0, home=0)
+    job_b = job(work=500.0, demand=30.0, home=2)
+    cluster.nodes[0].add_job(job_a)
+    cluster.nodes[2].add_job(job_b)
+    arrivals = {}
+    wire = net.transfer_time_s(30.0)
+    r = net.remote_cost_s
+
+    policy.migrate(job_a, cluster.nodes[0], cluster.nodes[1],
+                   on_arrival=lambda j: arrivals.setdefault("a", cluster.sim.now))
+    # A's attempt occupies the wire over [0, wire], fails on arrival at
+    # wire + r, and schedules its retry for wire + r + 1.0 (backoff).
+    # B queues at t = 3.0, before A's retry fires.
+    cluster.sim.schedule(
+        3.0, lambda: policy.migrate(
+            job_b, cluster.nodes[2], cluster.nodes[3],
+            on_arrival=lambda j: arrivals.setdefault("b", cluster.sim.now)))
+    cluster.sim.run(until=30.0)
+
+    assert cluster.faults.counters["migration_failures"] == 1
+    assert cluster.faults.counters["migration_retries"] == 1
+    # B grabbed the link at 3.0 and finished its wire time first; A's
+    # retry found the link busy and queued behind it.
+    assert arrivals["b"] == pytest.approx(3.0 + wire + r)
+    assert arrivals["b"] < arrivals["a"]
+    # A retried at wire + r + 1.0, waited for the link to free at
+    # 3.0 + wire, then spent another full wire time + r.
+    assert arrivals["a"] == pytest.approx(3.0 + 2 * wire + r)
+    assert job_a.state is JobState.RUNNING and job_a.node_id == 1
+    assert job_b.state is JobState.RUNNING and job_b.node_id == 3
+    # The failed attempt's wire seconds still count as link busy time.
+    assert net.busy_s == pytest.approx(3 * wire)
 
 
 def test_invalid_parameters_rejected():

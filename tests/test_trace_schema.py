@@ -1,0 +1,97 @@
+"""Perfetto (Chrome trace-event) JSON schema smoke test.
+
+The trace exporter is the debugging surface for everything the fault
+subsystem does, so its output must stay loadable by Perfetto: the
+document needs the ``traceEvents`` / ``displayTimeUnit`` envelope,
+every event needs the phase/pid/tid/name quartet, complete-spans need
+non-negative durations, and timestamps must be globally sorted (the
+exporter sorts; Perfetto tolerates unsorted input but our JSONL
+consumers do not).
+"""
+
+import io
+import json
+
+from repro.experiments.scenario import run_blocking_scenario
+from repro.faults import FaultConfig
+from repro.obs.session import ObsSession
+from repro.obs.trace_export import CLUSTER_PID, NETWORK_PID
+
+VALID_PHASES = {"M", "i", "X", "C"}
+
+
+def scenario_trace(faults=None):
+    obs = ObsSession(record_events=True, run_label="schema-smoke")
+    run_blocking_scenario("v-reconfiguration", seed=0, obs=obs,
+                          faults=faults)
+    target = io.StringIO()
+    document = obs.write_trace(target)
+    # The written payload and the returned document are the same JSON.
+    assert json.loads(target.getvalue()) == json.loads(
+        json.dumps(document))
+    return document
+
+
+def test_trace_document_envelope():
+    document = scenario_trace()
+    assert set(document) == {"traceEvents", "displayTimeUnit",
+                             "otherData"}
+    assert document["displayTimeUnit"] == "ms"
+    assert document["otherData"]["run"] == "schema-smoke"
+    assert document["otherData"]["events"] > 0
+    assert len(document["traceEvents"]) > 0
+
+
+def test_every_event_has_required_keys():
+    events = scenario_trace()["traceEvents"]
+    for event in events:
+        assert event["ph"] in VALID_PHASES, event
+        assert isinstance(event["name"], str) and event["name"], event
+        assert event["pid"] in (CLUSTER_PID, NETWORK_PID), event
+        assert isinstance(event["tid"], int), event
+        if event["ph"] == "M":
+            # Metadata events carry no timestamp, only args.name.
+            assert "ts" not in event
+            assert event["name"] in ("process_name", "thread_name")
+            assert event["args"]["name"]
+        else:
+            assert isinstance(event["ts"], float) and event["ts"] >= 0.0
+            assert event["cat"], event
+        if event["ph"] == "X":
+            assert event["dur"] >= 0.0, event
+        if event["ph"] == "i":
+            assert event["s"] == "t", event
+
+
+def test_timestamps_sorted_and_monotonic_per_track():
+    events = [e for e in scenario_trace()["traceEvents"]
+              if "ts" in e]
+    # Global sort (what the exporter promises)...
+    stamps = [e["ts"] for e in events]
+    assert stamps == sorted(stamps)
+    # ...implies per-(pid, tid) track monotonicity.
+    last = {}
+    for event in events:
+        track = (event["pid"], event["tid"])
+        assert event["ts"] >= last.get(track, 0.0), event
+        last[track] = event["ts"]
+
+
+def test_trace_has_node_and_network_tracks():
+    events = scenario_trace()["traceEvents"]
+    meta_names = {(e["pid"], e["args"]["name"])
+                  for e in events if e["ph"] == "M"}
+    assert any(pid == NETWORK_PID for pid, _ in meta_names)
+    assert any(name.startswith("node ") for _, name in meta_names)
+    # The scenario migrates, so the network track carries spans.
+    assert any(e["ph"] == "X" and e["pid"] == NETWORK_PID
+               for e in events)
+
+
+def test_faulted_run_emits_fault_instants_in_trace():
+    faults = FaultConfig(mtbf_s=800.0, mttr_s=60.0,
+                         crash_policy="checkpoint")
+    events = scenario_trace(faults=faults)["traceEvents"]
+    kinds = {e["name"] for e in events if e["ph"] == "i"}
+    assert any("crash" in name for name in kinds), kinds
+    assert any("recover" in name for name in kinds), kinds
