@@ -19,6 +19,12 @@ The harness measures five things on a fixed, seeded workload:
   the summaries are identical modulo the ``obs.*`` keys and reporting
   the obs-on/obs-off overhead factor (gated in CI via
   ``--max-obs-overhead-factor``);
+* **lifecycle/sampler overhead** — the single run repeated with the
+  full explain-a-run instrumentation (lifecycle tracker + 10 s
+  cluster sampler), verifying the summary is unchanged modulo
+  ``obs.*`` *and* the lifecycle partition invariant holds, reporting
+  the overhead factor (gated under the same
+  ``--max-obs-overhead-factor``);
 * **fault-injection overhead** — the single run repeated with the
   failure model enabled (see :mod:`repro.faults`), verifying the
   fault schedule is deterministic (two runs, identical summaries) and
@@ -165,6 +171,66 @@ def measure_obs_bench(scale: float = SWEEP_SCALE) -> dict:
     }
 
 
+def measure_sampler_bench(scale: float = SWEEP_SCALE) -> dict:
+    """Lifecycle/sampler overhead: the single-run measurement with the
+    full explain-a-run instrumentation attached (a
+    :class:`~repro.obs.lifecycle.JobLifecycleTracker` plus a 10 s
+    :class:`~repro.obs.sampler.ClusterSampler`).
+
+    Checks that the heavier instrumentation still does not change
+    scheduling (summary identical modulo ``obs.*``) and that the
+    lifecycle partition invariant holds (max residual at float noise),
+    then reports the overhead factor — gated in CI alongside
+    ``obs_bench`` via ``--max-obs-overhead-factor``.
+    """
+    import dataclasses
+
+    from repro.obs.session import EXTRA_PREFIX, ObsSession
+
+    off = measure_single_run(scale)
+    plain = run_experiment(WorkloadGroup.SPEC, 3, policy="g-loadsharing",
+                           seed=0, scale=scale)
+    obs = ObsSession(record_events=False, run_label="sampler-bench",
+                     lifecycle=True, sample_period=10.0)
+    started = time.perf_counter()
+    result = run_experiment(WorkloadGroup.SPEC, 3, policy="g-loadsharing",
+                            seed=0, scale=scale, obs=obs)
+    wall_s = time.perf_counter() - started
+    events = result.cluster.sim.event_count
+    stripped = dataclasses.replace(
+        result.summary,
+        extra={key: value for key, value in result.summary.extra.items()
+               if not key.startswith(EXTRA_PREFIX)})
+    if stripped != plain.summary:
+        raise AssertionError(
+            "lifecycle/sampler-instrumented run produced a different "
+            "summary — the sampler perturbed scheduling")
+    residual = result.summary.extra.get("obs.lifecycle_residual_max_s",
+                                        0.0)
+    if abs(residual) > 1e-6:
+        raise AssertionError(
+            f"lifecycle partition residual {residual!r} exceeds 1e-6 — "
+            f"span attribution no longer tiles job wall time")
+    on = {
+        "wall_s": wall_s,
+        "events": events,
+        "events_per_s": events / wall_s if wall_s > 0 else 0.0,
+    }
+    factor = (off["events_per_s"] / on["events_per_s"]
+              if on["events_per_s"] > 0 else 0.0)
+    return {
+        "sampler_off": off,
+        "sampler_on": on,
+        "overhead_factor": factor,
+        "sample_period_s": 10.0,
+        "samples": result.summary.extra.get("obs.sampler_samples", 0.0),
+        "lifecycle_jobs": result.summary.extra.get("obs.lifecycle_jobs",
+                                                   0.0),
+        "partition_residual_max_s": residual,
+        "summaries_identical_modulo_obs": True,
+    }
+
+
 def measure_faults_bench(scale: float = SWEEP_SCALE) -> dict:
     """Fault-injection overhead and determinism.
 
@@ -300,6 +366,7 @@ def run_harness(jobs: int = 0, scale: float = SWEEP_SCALE,
                 output: Optional[str] = DEFAULT_OUTPUT,
                 scale_bench: bool = True,
                 obs_bench: bool = True,
+                sampler_bench: bool = True,
                 faults_bench: bool = True) -> dict:
     """Measure, check determinism, and (optionally) write the report."""
     resolved = resolve_jobs(jobs)
@@ -341,6 +408,8 @@ def run_harness(jobs: int = 0, scale: float = SWEEP_SCALE,
         report["scale_bench"] = measure_scale_bench(scale)
     if obs_bench:
         report["obs_bench"] = measure_obs_bench(scale)
+    if sampler_bench:
+        report["sampler_bench"] = measure_sampler_bench(scale)
     if faults_bench:
         report["faults_bench"] = measure_faults_bench(scale)
     if output:
@@ -375,6 +444,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="skip the 32/256-node scaling leg")
     parser.add_argument("--no-obs-bench", action="store_true",
                         help="skip the obs-off/obs-on overhead leg")
+    parser.add_argument("--no-sampler-bench", action="store_true",
+                        help="skip the lifecycle/sampler overhead leg")
     parser.add_argument("--no-faults-bench", action="store_true",
                         help="skip the fault-injection overhead leg")
     parser.add_argument("--fail-below-ratio", type=float, default=None,
@@ -397,6 +468,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                          output=args.output,
                          scale_bench=not args.no_scale_bench,
                          obs_bench=not args.no_obs_bench,
+                         sampler_bench=not args.no_sampler_bench,
                          faults_bench=not args.no_faults_bench)
     single = report["single_run"]
     print(f"single run : {single['events']} events in "
@@ -424,6 +496,15 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"ev/s, on {bench['obs_on']['events_per_s']:,.0f} ev/s, "
               f"overhead {bench['overhead_factor']:.2f}x "
               f"(identical summaries modulo obs.*)")
+    if "sampler_bench" in report:
+        bench = report["sampler_bench"]
+        print(f"sampler    : off "
+              f"{bench['sampler_off']['events_per_s']:,.0f} ev/s, on "
+              f"{bench['sampler_on']['events_per_s']:,.0f} ev/s, "
+              f"overhead {bench['overhead_factor']:.2f}x "
+              f"({bench['samples']:.0f} samples, "
+              f"{bench['lifecycle_jobs']:.0f} lifecycles, residual "
+              f"{bench['partition_residual_max_s']:.1e}s)")
     if "faults_bench" in report:
         bench = report["faults_bench"]
         print(f"faults     : off "
@@ -450,14 +531,20 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"[perf gate ok: {fresh:,.0f} >= "
                   f"{args.fail_below_ratio:.0%} of {committed:,.0f} ev/s]")
     if args.max_obs_overhead_factor is not None:
-        factor = report["obs_bench"]["overhead_factor"]
-        if factor > args.max_obs_overhead_factor:
-            print(f"OBS OVERHEAD REGRESSION: instrumented run is "
-                  f"{factor:.2f}x slower than obs-off, above the "
-                  f"{args.max_obs_overhead_factor:.2f}x gate",
-                  file=sys.stderr)
-            return 1
-        print(f"[obs gate ok: {factor:.2f}x <= "
+        gated = [("obs", report["obs_bench"]["overhead_factor"])]
+        if "sampler_bench" in report:
+            gated.append(("sampler",
+                          report["sampler_bench"]["overhead_factor"]))
+        for leg, factor in gated:
+            if factor > args.max_obs_overhead_factor:
+                print(f"OBS OVERHEAD REGRESSION ({leg}): instrumented "
+                      f"run is {factor:.2f}x slower than obs-off, above "
+                      f"the {args.max_obs_overhead_factor:.2f}x gate",
+                      file=sys.stderr)
+                return 1
+        summary = ", ".join(f"{leg} {factor:.2f}x"
+                            for leg, factor in gated)
+        print(f"[obs gate ok: {summary} <= "
               f"{args.max_obs_overhead_factor:.2f}x]")
     return 0
 

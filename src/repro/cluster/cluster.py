@@ -56,8 +56,10 @@ class Cluster:
             contention=self.config.network_contention,
         )
         fault_channel = self.obs.channel("memory.fault")
+        job_channel = self.obs.channel("cluster.job")
         for node in self.nodes:
             node.obs_fault = fault_channel
+            node.obs_job = job_channel
         self.directory = LoadInfoDirectory(
             self.sim, self.nodes,
             exchange_interval_s=self.config.load_exchange_interval_s,

@@ -82,7 +82,21 @@ class Workstation:
         #: ``memory.fault`` obs channel (thrashing transitions); the
         #: owning cluster points this at its bus.
         self.obs_fault = NULL_CHANNEL
+        #: ``cluster.job`` obs channel (job start/stop/finish on this
+        #: node, with accounting snapshots); wired by the cluster.
+        self.obs_job = NULL_CHANNEL
         self._was_thrashing = False
+
+    def _emit_job(self, kind: str, job: Job, **extra) -> None:
+        """Emit a ``cluster.job`` event carrying the job's cumulative
+        accounting.  Callers guarantee the accounting is current (every
+        emit site runs right after ``_advance``), so lifecycle trackers
+        can compute exact per-segment cpu/page/io deltas."""
+        acct = job.acct
+        self.obs_job.emit(self._sim.now, kind, job=job.job_id,
+                          node=self.node_id, cpu_s=acct.cpu_s,
+                          page_s=acct.page_s, io_s=acct.io_s,
+                          dedicated=job.dedicated, **extra)
 
     # ------------------------------------------------------------------
     # change notifications
@@ -209,6 +223,8 @@ class Workstation:
         job.state = JobState.RUNNING
         job.node_id = self.node_id
         self._running.append(job)
+        if self.obs_job.enabled:
+            self._emit_job("start", job)
         self._recompute()
 
     def remove_job(self, job: Job) -> None:
@@ -217,6 +233,8 @@ class Workstation:
         if job not in self._running:
             raise ValueError(f"job {job.job_id} not on node {self.node_id}")
         self._running.remove(job)
+        if self.obs_job.enabled:
+            self._emit_job("stop", job, reason="detach")
         job.node_id = None
         self._recompute()
 
@@ -237,6 +255,8 @@ class Workstation:
         lost = list(self._running)
         self._running.clear()
         for job in lost:
+            if self.obs_job.enabled:
+                self._emit_job("stop", job, reason="crash")
             job.node_id = None
             job.state = JobState.PENDING
             job.faulting = False
@@ -436,6 +456,8 @@ class Workstation:
             job.node_id = None
             job.finish_time = self._sim.now
             self.completed_jobs += 1
+            if self.obs_job.enabled:
+                self._emit_job("finish", job)
         self._recompute()
         if self.on_job_finished is not None:
             for job in finished:

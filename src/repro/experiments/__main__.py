@@ -49,7 +49,7 @@ FAULT_TARGETS = ("scenario", "degradation")
 
 
 def _run_scenario(obs_session=None, trace_out=None, log_json=None,
-                  obs_metrics=None, faults=None) -> None:
+                  obs_metrics=None, faults=None, report=None) -> None:
     base = run_blocking_scenario("g-loadsharing", faults=faults)
     reco = run_blocking_scenario("v-reconfiguration", obs=obs_session,
                                  faults=faults)
@@ -86,6 +86,11 @@ def _run_scenario(obs_session=None, trace_out=None, log_json=None,
         if obs_metrics:
             obs_session.write_metrics(obs_metrics)
             print(f"[wrote metrics snapshot {obs_metrics}]")
+        if report:
+            obs_session.write_report(
+                report, title="Run report — blocking scenario, "
+                              "V-Reconfiguration")
+            print(f"[wrote HTML report {report}]")
 
 
 def main(argv: List[str] = None) -> int:
@@ -126,6 +131,17 @@ def main(argv: List[str] = None) -> int:
     parser.add_argument("--obs-metrics", metavar="PATH", default=None,
                         help="write the scenario run's metrics "
                              "snapshot as JSON (scenario target only)")
+    parser.add_argument("--report", metavar="PATH", default=None,
+                        help="write a self-contained HTML report: a "
+                             "lifecycle run report for the scenario "
+                             "target, a G-vs-V comparison report for "
+                             "the degradation target")
+    parser.add_argument("--sample-period", type=float, default=None,
+                        metavar="S",
+                        help="sample per-node cluster state every S "
+                             "simulated seconds (feeds the report "
+                             "timelines; scenario and degradation "
+                             "targets)")
     parser.add_argument("--faults", action="store_true",
                         help="enable fault injection with default "
                              "parameters for the scenario target "
@@ -164,6 +180,14 @@ def main(argv: List[str] = None) -> int:
             and "scenario" not in targets:
         parser.error("--trace-out/--log-json/--obs-metrics record the "
                      "scenario target; add 'scenario' to the targets")
+    report_targets = [t for t in targets if t in ("scenario",
+                                                  "degradation")]
+    if args.report and len(report_targets) != 1:
+        parser.error("--report needs exactly one of the scenario or "
+                     "degradation targets")
+    if args.sample_period is not None and not report_targets:
+        parser.error("--sample-period applies to the scenario and "
+                     "degradation targets; add one of them")
     faults = build_fault_config(args)
     if faults is not None and not any(t in FAULT_TARGETS for t in targets):
         parser.error("fault flags apply to the scenario and degradation "
@@ -197,21 +221,30 @@ def main(argv: List[str] = None) -> int:
         elif target == "scenario":
             obs_session = None
             if args.obs or args.trace_out or args.log_json \
-                    or args.obs_metrics:
+                    or args.obs_metrics or args.report \
+                    or args.sample_period is not None:
                 obs_session = ObsSession(
                     record_events=bool(args.trace_out or args.log_json),
-                    run_label="scenario v-reconfiguration")
+                    run_label="scenario v-reconfiguration",
+                    lifecycle=bool(args.report),
+                    sample_period=args.sample_period)
             _run_scenario(obs_session=obs_session,
                           trace_out=args.trace_out,
                           log_json=args.log_json,
                           obs_metrics=args.obs_metrics,
-                          faults=faults)
+                          faults=faults,
+                          report=args.report)
         elif target == "degradation":
             report = run_degradation_experiment(
                 seed=args.seed, scale=args.scale, jobs=args.jobs,
                 fault_seed=(faults.fault_seed if faults is not None else 0),
-                mttr_s=(faults.mttr_s if faults is not None else 60.0))
+                mttr_s=(faults.mttr_s if faults is not None else 60.0),
+                lifecycle=bool(args.report),
+                sample_period=args.sample_period)
             print(report.render())
+            if args.report:
+                report.write_report(args.report)
+                print(f"[wrote HTML comparison report {args.report}]")
         elif target == "heterogeneity":
             report = run_heterogeneity_experiment(
                 group=WorkloadGroup.APP, trace_index=3,

@@ -97,6 +97,42 @@ class DegradationReport:
                  f"{self.fault_seed}")
         return render_table(self.rows(), columns, title=title)
 
+    def comparison_rows(self) -> List[Dict[str, object]]:
+        """Flatten the sweep into :mod:`repro.obs.report` comparison
+        rows — one per (mtbf, policy) cell, ordered by increasing
+        crash rate.  The x axis is crashes per 10k node-seconds
+        (0 for the fault-free baseline), so "more broken" reads
+        left-to-right."""
+        from repro.obs.report import comparison_row
+
+        rows: List[Dict[str, object]] = []
+        for mtbf in self.mtbfs:
+            x = 0.0 if mtbf is None else 1e4 / mtbf
+            mtbf_text = "inf" if mtbf is None else f"{mtbf:g}"
+            for policy in self.policies:
+                summary = self.summaries[(mtbf, policy)]
+                short = "G" if policy.startswith("g") else "V"
+                row = comparison_row(f"{short} @ mtbf={mtbf_text}",
+                                     short, x, summary)
+                row["goodput"] = goodput(summary)
+                rows.append(row)
+        return rows
+
+    def write_report(self, target: str) -> str:
+        """Write the G-vs-V comparison HTML report for this sweep."""
+        from repro.obs.report import (render_comparison_report,
+                                      write_report)
+
+        title = (f"Degradation sweep — {self.group.value} trace "
+                 f"{self.trace_index}")
+        html = render_comparison_report(
+            title, self.comparison_rows(),
+            x_label="crashes per 10k node-seconds",
+            subtitle=f"seed {self.seed} · fault seed {self.fault_seed} "
+                     f"· MTBF grid "
+                     f"{', '.join('inf' if m is None else f'{m:g}' for m in self.mtbfs)}")
+        return write_report(target, html)
+
 
 def run_degradation_experiment(
         group: WorkloadGroup = WorkloadGroup.SPEC,
@@ -108,11 +144,17 @@ def run_degradation_experiment(
         mttr_s: float = 60.0,
         policies: Sequence[str] = DEFAULT_POLICIES,
         config: Optional[ClusterConfig] = None,
-        jobs: int = 1) -> DegradationReport:
+        jobs: int = 1,
+        lifecycle: bool = False,
+        sample_period: Optional[float] = None) -> DegradationReport:
     """Sweep goodput and slowdown over the MTBF grid.
 
     Each (mtbf, policy) cell is one independent run; ``jobs`` fans
     them out to worker processes with summaries identical to serial.
+    ``lifecycle=True`` traces every cell's job lifecycles so the
+    comparison report can attribute the slowdown; ``sample_period``
+    additionally samples cluster state (both land in
+    ``summary.extra`` and survive the process boundary).
     """
     specs: List[RunSpec] = []
     cells: List[Tuple[Optional[float], str]] = []
@@ -125,7 +167,8 @@ def run_degradation_experiment(
             specs.append(RunSpec(
                 group=group, trace_index=trace_index, policy=policy,
                 seed=seed, scale=scale, config=config, faults=faults,
-                label=f"mtbf={mtbf_text} {policy}"))
+                label=f"mtbf={mtbf_text} {policy}",
+                lifecycle=lifecycle, sample_period=sample_period))
             cells.append((mtbf, policy))
     summaries = run_specs(specs, jobs=jobs)
     return DegradationReport(

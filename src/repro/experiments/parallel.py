@@ -67,6 +67,14 @@ class RunSpec:
     #: in ``summary.extra`` under ``obs.`` and crosses the process
     #: boundary with the summary (see repro.obs).
     obs: bool = False
+    #: Trace job lifecycles (slowdown attribution); the aggregates land
+    #: in ``summary.extra`` as ``obs.lifecycle_*`` and feed the sweep
+    #: comparison reports.  Implies an ObsSession.
+    lifecycle: bool = False
+    #: Sample per-node cluster state every N simulated seconds; the
+    #: aggregates land in ``summary.extra`` as ``obs.sampler_*``.
+    #: Implies an ObsSession.
+    sample_period: Optional[float] = None
 
     def describe(self) -> str:
         extras = f" kwargs={self.policy_kwargs}" if self.policy_kwargs else ""
@@ -165,10 +173,13 @@ def _execute_timed(spec: RunSpec) -> Tuple[RunSummary, SpecTiming]:
     from repro.experiments.runner import run_experiment
 
     obs = None
-    if spec.obs or _OBS_ALL_SPECS:
+    if (spec.obs or spec.lifecycle or spec.sample_period is not None
+            or _OBS_ALL_SPECS):
         from repro.obs.session import ObsSession
 
-        obs = ObsSession(record_events=False, run_label=spec.describe())
+        obs = ObsSession(record_events=False, run_label=spec.describe(),
+                         lifecycle=spec.lifecycle,
+                         sample_period=spec.sample_period)
     kwargs = dict(spec.policy_kwargs) if spec.policy_kwargs else None
     started = time.perf_counter()
     result = run_experiment(spec.group, spec.trace_index, policy=spec.policy,

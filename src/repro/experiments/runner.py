@@ -248,6 +248,22 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="write the structured JSONL run log")
     parser.add_argument("--obs-metrics", metavar="PATH", default=None,
                         help="write the metrics snapshot as JSON")
+    parser.add_argument("--prom", metavar="PATH", default=None,
+                        help="write the metrics in Prometheus text "
+                             "exposition format")
+    parser.add_argument("--report", metavar="PATH", default=None,
+                        help="write a self-contained HTML run report "
+                             "(lifecycle tracing + slowdown "
+                             "attribution; implies --obs)")
+    parser.add_argument("--sample-period", type=float, default=None,
+                        metavar="S",
+                        help="sample per-node cluster state every S "
+                             "simulated seconds (feeds the report "
+                             "timelines; implies --obs)")
+    parser.add_argument("--sampler-csv", metavar="PATH", default=None,
+                        help="write the sampled cluster time series "
+                             "as wide-row CSV (requires "
+                             "--sample-period)")
     parser.add_argument("--export-csv", metavar="PATH", default=None,
                         help="write the run summary as CSV")
     parser.add_argument("--export-json", metavar="PATH", default=None,
@@ -265,14 +281,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     if faults is not None:
         config = config.replace(faults=faults)
 
+    if args.sampler_csv and args.sample_period is None:
+        parser.error("--sampler-csv requires --sample-period")
     want_obs = (args.obs or args.trace_out or args.log_json
-                or args.obs_metrics)
+                or args.obs_metrics or args.prom or args.report
+                or args.sample_period is not None)
     obs = None
     if want_obs:
         label = f"{args.group}-trace-{args.trace} {args.policy}"
         obs = ObsSession(record_events=bool(args.trace_out
                                             or args.log_json),
-                         run_label=label)
+                         run_label=label,
+                         lifecycle=bool(args.report),
+                         sample_period=args.sample_period)
 
     def run() -> ExperimentResult:
         return run_experiment(group, args.trace, policy=args.policy,
@@ -320,6 +341,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.obs_metrics:
             obs.write_metrics(args.obs_metrics)
             print(f"[wrote metrics snapshot {args.obs_metrics}]")
+        if args.prom:
+            samples = obs.write_prom(args.prom)
+            print(f"[wrote {samples} Prometheus samples to {args.prom}]")
+        if args.report:
+            obs.write_report(args.report)
+            print(f"[wrote HTML report {args.report}]")
+        if args.sampler_csv:
+            rows = obs.write_sampler_csv(args.sampler_csv)
+            print(f"[wrote {rows} sample rows to {args.sampler_csv}]")
     if args.export_csv or args.export_json:
         from repro.metrics.export import summaries_to_csv, summaries_to_json
 

@@ -3,39 +3,62 @@
 A structured event bus threaded through every layer of the stack
 (:mod:`repro.obs.bus`), a metrics registry
 (:mod:`repro.obs.metrics`), Chrome-trace/JSONL exporters
-(:mod:`repro.obs.trace_export`), and the per-run session object that
-ties them together (:mod:`repro.obs.session`).
+(:mod:`repro.obs.trace_export`), per-job causal tracing with exact
+slowdown attribution (:mod:`repro.obs.lifecycle`), periodic cluster
+sampling (:mod:`repro.obs.sampler`), self-contained HTML reports
+(:mod:`repro.obs.report`), and the per-run session object that ties
+them together (:mod:`repro.obs.session`).
 
 Observability is off by default and costs one boolean check per emit
 site; enable it by attaching an :class:`ObsSession` to a run::
 
     from repro.obs import ObsSession
-    obs = ObsSession()
+    obs = ObsSession(lifecycle=True, sample_period=10.0)
     result = run_experiment(..., obs=obs)
     obs.write_trace("trace.json")      # open in https://ui.perfetto.dev
     obs.write_log("run.jsonl")
+    obs.write_report("run.html")       # slowdown attribution + timelines
+    obs.write_prom("run.prom")         # Prometheus text exposition
     print(obs.finalize())              # metrics snapshot
 """
 
 from repro.obs.bus import CHANNELS, Channel, EventBus, NULL_CHANNEL, ObsEvent
+from repro.obs.lifecycle import (
+    ATTRIBUTION_KEYS,
+    JobLifecycle,
+    JobLifecycleTracker,
+)
 from repro.obs.metrics import Counter, Gauge, Histogram, MetricsRegistry
+from repro.obs.report import (
+    render_comparison_report,
+    render_run_report,
+    write_report,
+)
+from repro.obs.sampler import ClusterSampler
 from repro.obs.session import EXTRA_PREFIX, TRACE_CHANNELS, ObsSession
 from repro.obs.trace_export import chrome_trace, write_chrome_trace, write_jsonl
 
 __all__ = [
+    "ATTRIBUTION_KEYS",
     "CHANNELS",
     "Channel",
+    "ClusterSampler",
     "Counter",
     "EventBus",
     "EXTRA_PREFIX",
     "Gauge",
     "Histogram",
+    "JobLifecycle",
+    "JobLifecycleTracker",
     "MetricsRegistry",
     "NULL_CHANNEL",
     "ObsEvent",
     "ObsSession",
     "TRACE_CHANNELS",
     "chrome_trace",
+    "render_comparison_report",
+    "render_run_report",
     "write_chrome_trace",
     "write_jsonl",
+    "write_report",
 ]

@@ -22,6 +22,7 @@ imports it, and it must never import simulation code back.
 
 from __future__ import annotations
 
+import warnings
 from typing import Callable, Dict, Iterable, List, NamedTuple, Optional, Tuple
 
 #: The instrumentation channels threaded through the stack.  Emitters
@@ -29,6 +30,7 @@ from typing import Callable, Dict, Iterable, List, NamedTuple, Optional, Tuple
 #: unknown names so a typo fails loudly instead of observing nothing.
 CHANNELS: Tuple[str, ...] = (
     "sim.event",              # one simulator event executed (very hot)
+    "cluster.job",            # job lifecycle: submit/start/stop/finish
     "cluster.placement",      # local/remote placement decisions
     "cluster.migration",      # preemptive migrations (source, dest, MB)
     "reconfig.blocking",      # blocking detections + activation skips
@@ -37,6 +39,27 @@ CHANNELS: Tuple[str, ...] = (
     "memory.fault",           # per-node thrashing transitions
     "fault.injection",        # injected crashes/recoveries/losses
 )
+
+#: JSON-native scalar types passed through untouched by ``jsonable``.
+_JSON_SCALARS = (str, int, float, bool, type(None))
+
+
+def jsonable(value):
+    """Best-effort conversion of an event payload value to something
+    ``json.dumps`` accepts.
+
+    Emit sites occasionally pass rich objects (enums, dataclasses,
+    node handles) in event payloads; a run log writer must not crash
+    on them.  Scalars pass through, containers recurse, and anything
+    else collapses to ``str(value)``.
+    """
+    if isinstance(value, _JSON_SCALARS):
+        return value
+    if isinstance(value, dict):
+        return {str(k): jsonable(v) for k, v in value.items()}
+    if isinstance(value, (list, tuple, set, frozenset)):
+        return [jsonable(v) for v in value]
+    return str(value)
 
 
 class ObsEvent(NamedTuple):
@@ -48,10 +71,15 @@ class ObsEvent(NamedTuple):
     data: dict
 
     def to_jsonable(self) -> dict:
-        """Flatten to the JSONL run-log record shape."""
+        """Flatten to the JSONL run-log record shape.
+
+        Payload values that are not JSON-native are coerced through
+        :func:`jsonable`, so the record always survives ``json.dumps``.
+        """
         record = {"t": self.time, "channel": self.channel,
                   "kind": self.kind}
-        record.update(self.data)
+        for key, value in self.data.items():
+            record[key] = jsonable(value)
         return record
 
 
@@ -86,10 +114,31 @@ class Channel:
         Callers guard with ``if channel.enabled`` so the kwargs dict is
         never built on the disabled path; calling emit on a disabled
         channel is still safe (it is simply a no-op loop).
+
+        A subscriber that raises must not corrupt the others: the
+        exception is reported as a warning, every remaining subscriber
+        still receives this event, and the offender is unsubscribed so
+        a persistently broken observer cannot turn the run into a
+        warning storm.  The no-failure path pays nothing beyond the
+        try frame.
         """
         event = ObsEvent(self.name, time, kind, data)
+        broken: Optional[List[Subscriber]] = None
         for subscriber in self._subscribers:
-            subscriber(event)
+            try:
+                subscriber(event)
+            except Exception as exc:  # noqa: BLE001 - isolate observers
+                if broken is None:
+                    broken = []
+                broken.append(subscriber)
+                warnings.warn(
+                    f"obs subscriber {subscriber!r} raised on channel "
+                    f"{self.name!r} ({kind!r} at t={time:g}): {exc!r}; "
+                    f"unsubscribing it", RuntimeWarning, stacklevel=2)
+        if broken is not None:
+            for subscriber in broken:
+                if subscriber in self._subscribers:
+                    self.unsubscribe(subscriber)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "on" if self.enabled else "off"

@@ -1,0 +1,599 @@
+"""Job-lifecycle causal tracing and slowdown attribution.
+
+:class:`JobLifecycleTracker` subscribes to the placement, migration,
+job, blocking, reservation, and fault channels of a cluster's
+:class:`~repro.obs.bus.EventBus` and assembles one causal span tree
+per job: submit -> queue wait -> run segments -> migration transfers
+-> (dedicated) run on a reserved workstation -> complete, with the
+triggering blocking event and reservation linked as causes.
+
+**The partition invariant.** For every finished job the top-level
+spans are contiguous — each span starts exactly (float-equal) where
+the previous one ended, the first starts at the submit instant, and
+the last ends at the finish instant — so the span durations partition
+the job's wall time.  Run-segment time is further decomposed into
+``cpu`` / ``paging`` / ``io`` / ``contention`` using the exact
+accounting snapshots the workstation embeds in its ``cluster.job``
+events (contention is the segment residual by construction, so the
+four buckets sum to the segment duration identically).  The resulting
+per-job attribution::
+
+    wall = pending + transfer + cpu + paging + io + contention
+
+is the paper's §5 decomposition re-derived from the event stream
+alone, which makes it a correctness oracle over the whole simulator:
+any accounting drift between the workstation model and the event
+stream shows up as a non-zero partition residual.
+
+Dividing each bucket by the job's dedicated CPU work turns the same
+numbers into a *slowdown attribution* — exactly the "where did the
+slowdown come from" decomposition the paper argues over in §4/§5.
+
+Overlay annotations (not part of the exact partition, since they
+overlap run and transfer spans):
+
+* ``blocked`` child spans — from the first blocking observation
+  naming the job to the end of the run segment;
+* ``reservation_wait_s`` — from the first blocking observation to the
+  instant the job starts dedicated service on the reserved node.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Tuple
+
+from repro.obs.bus import EventBus, ObsEvent
+
+#: Channels the tracker subscribes to.
+LIFECYCLE_CHANNELS = (
+    "cluster.job",
+    "cluster.placement",
+    "cluster.migration",
+    "reconfig.blocking",
+    "reconfig.reservation",
+    "fault.injection",
+)
+
+#: Attribution buckets, in report order.  ``pending`` + ``transfer``
+#: come from span durations; the rest decompose run segments.
+ATTRIBUTION_KEYS = ("cpu", "paging", "io", "contention", "pending",
+                    "transfer")
+
+
+class Span:
+    """One node of a job's span tree.
+
+    Top-level spans have ``category`` in {"pending", "transfer",
+    "run"} and partition the job's wall time; ``children`` hold
+    overlay spans (currently ``blocked``).  Run spans carry an exact
+    ``attribution`` dict (cpu/paging/io/contention summing to the
+    span duration); ``cause`` names the event that created the span.
+    """
+
+    __slots__ = ("kind", "category", "start", "end", "node",
+                 "attribution", "cause", "children", "detail")
+
+    def __init__(self, kind: str, category: Optional[str], start: float,
+                 node: Optional[int] = None,
+                 cause: Optional[dict] = None):
+        self.kind = kind
+        self.category = category
+        self.start = start
+        self.end: Optional[float] = None
+        self.node = node
+        self.attribution: Dict[str, float] = {}
+        self.cause = cause
+        self.children: List["Span"] = []
+        self.detail: Dict[str, float] = {}
+
+    @property
+    def duration_s(self) -> float:
+        return (self.end - self.start) if self.end is not None else 0.0
+
+    def to_jsonable(self) -> dict:
+        record = {
+            "kind": self.kind, "category": self.category,
+            "start": self.start, "end": self.end,
+            "duration_s": self.duration_s,
+        }
+        if self.node is not None:
+            record["node"] = self.node
+        if self.attribution:
+            record["attribution"] = dict(self.attribution)
+        if self.cause:
+            record["cause"] = dict(self.cause)
+        if self.detail:
+            record["detail"] = dict(self.detail)
+        if self.children:
+            record["children"] = [c.to_jsonable() for c in self.children]
+        return record
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        end = f"{self.end:.2f}" if self.end is not None else "open"
+        return f"<Span {self.kind} [{self.start:.2f}, {end}]>"
+
+
+class JobLifecycle:
+    """The assembled causal view of one job."""
+
+    __slots__ = ("job_id", "program", "home_node", "cpu_work_s",
+                 "submit_time", "finish_time", "spans", "migrations",
+                 "requeues", "reservation_wait_s", "blocked_s",
+                 "_open", "_run_baseline", "_first_blocked")
+
+    def __init__(self, job_id: int, submit_time: float,
+                 program: str = "?", home_node: Optional[int] = None,
+                 cpu_work_s: float = 0.0):
+        self.job_id = job_id
+        self.program = program
+        self.home_node = home_node
+        self.cpu_work_s = cpu_work_s
+        self.submit_time = submit_time
+        self.finish_time: Optional[float] = None
+        self.spans: List[Span] = []
+        self.migrations = 0
+        self.requeues = 0
+        self.reservation_wait_s = 0.0
+        self.blocked_s = 0.0
+        self._open: Optional[Span] = None
+        #: (cpu_s, page_s, io_s) accounting at the open run span's start.
+        self._run_baseline: Optional[Tuple[float, float, float]] = None
+        #: First blocking observation inside the open run span.
+        self._first_blocked: Optional[float] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.finish_time is not None
+
+    @property
+    def wall_s(self) -> float:
+        if self.finish_time is None:
+            raise ValueError(f"job {self.job_id} has not finished")
+        return self.finish_time - self.submit_time
+
+    def slowdown(self) -> float:
+        if self.cpu_work_s <= 0:
+            return 0.0
+        return self.wall_s / self.cpu_work_s
+
+    # -- span bookkeeping (driven by the tracker) ----------------------
+    def open_span(self, span: Span) -> Span:
+        self.spans.append(span)
+        self._open = span
+        return span
+
+    def close_open(self, time: float) -> Optional[Span]:
+        span = self._open
+        if span is None:
+            return None
+        span.end = time
+        if span.category == "run" and self._first_blocked is not None:
+            blocked = Span("blocked", None, self._first_blocked)
+            blocked.end = time
+            blocked.cause = {"type": "blocking"}
+            span.children.append(blocked)
+            self.blocked_s += blocked.duration_s
+        self._first_blocked = None
+        self._open = None
+        return span
+
+    # -- attribution ---------------------------------------------------
+    def attribution(self) -> Dict[str, float]:
+        """Exact wall-time decomposition over the six buckets."""
+        out = {key: 0.0 for key in ATTRIBUTION_KEYS}
+        parts = {key: [] for key in ATTRIBUTION_KEYS}
+        for span in self.spans:
+            if span.category == "run":
+                for key in ("cpu", "paging", "io", "contention"):
+                    parts[key].append(span.attribution.get(key, 0.0))
+            elif span.category in ("pending", "transfer"):
+                parts[span.category].append(span.duration_s)
+        for key, values in parts.items():
+            out[key] = math.fsum(values)
+        return out
+
+    def slowdown_attribution(self) -> Dict[str, float]:
+        """Per-bucket share of the job's slowdown (sums to slowdown)."""
+        if self.cpu_work_s <= 0:
+            return {key: 0.0 for key in ATTRIBUTION_KEYS}
+        return {key: value / self.cpu_work_s
+                for key, value in self.attribution().items()}
+
+    def partition_residual_s(self) -> float:
+        """Wall time minus the fsum of top-level span durations.
+
+        Exactly zero up to float summation error when the partition
+        invariant holds; the contiguity check in
+        :meth:`check_partition` is the bitwise-exact half of the
+        invariant.
+        """
+        total = math.fsum(span.duration_s for span in self.spans)
+        return self.wall_s - total
+
+    def check_partition(self) -> None:
+        """Assert the partition invariant (raises ``AssertionError``).
+
+        Contiguity is float-exact: every boundary time appears
+        verbatim in both adjacent spans, the first span starts at the
+        submit instant and the last ends at the finish instant.
+        """
+        assert self.finished, f"job {self.job_id} not finished"
+        assert self.spans, f"job {self.job_id} has no spans"
+        assert self.spans[0].start == self.submit_time, (
+            f"job {self.job_id}: first span starts at "
+            f"{self.spans[0].start}, submitted at {self.submit_time}")
+        assert self.spans[-1].end == self.finish_time, (
+            f"job {self.job_id}: last span ends at {self.spans[-1].end}, "
+            f"finished at {self.finish_time}")
+        for prev, cur in zip(self.spans, self.spans[1:]):
+            assert prev.end == cur.start, (
+                f"job {self.job_id}: span gap {prev!r} -> {cur!r}")
+        for span in self.spans:
+            if span.category == "run" and span.attribution:
+                pieces = [span.attribution[k]
+                          for k in ("cpu", "paging", "io", "contention")]
+                assert abs(math.fsum(pieces) - span.duration_s) <= 1e-9 \
+                    * max(1.0, abs(span.duration_s)), (
+                    f"job {self.job_id}: run attribution does not sum "
+                    f"to the segment duration in {span!r}")
+
+    def to_jsonable(self) -> dict:
+        return {
+            "job": self.job_id,
+            "program": self.program,
+            "home_node": self.home_node,
+            "cpu_work_s": self.cpu_work_s,
+            "submit_time": self.submit_time,
+            "finish_time": self.finish_time,
+            "migrations": self.migrations,
+            "requeues": self.requeues,
+            "reservation_wait_s": self.reservation_wait_s,
+            "blocked_s": self.blocked_s,
+            "attribution": self.attribution() if self.finished else None,
+            "slowdown": self.slowdown() if self.finished else None,
+            "spans": [span.to_jsonable() for span in self.spans],
+        }
+
+
+class ReservationRecord:
+    """Gantt-ready view of one reservation's lifetime."""
+
+    __slots__ = ("reservation_id", "node", "reserved_at", "ready_at",
+                 "closed_at", "outcome", "job_ids", "needed_mb")
+
+    def __init__(self, reservation_id: int, node: int, reserved_at: float,
+                 needed_mb: float = 0.0):
+        self.reservation_id = reservation_id
+        self.node = node
+        self.reserved_at = reserved_at
+        self.ready_at: Optional[float] = None
+        self.closed_at: Optional[float] = None
+        self.outcome: Optional[str] = None
+        self.job_ids: List[int] = []
+        self.needed_mb = needed_mb
+
+    def to_jsonable(self) -> dict:
+        return {
+            "reservation": self.reservation_id, "node": self.node,
+            "reserved_at": self.reserved_at, "ready_at": self.ready_at,
+            "closed_at": self.closed_at, "outcome": self.outcome,
+            "jobs": list(self.job_ids), "needed_mb": self.needed_mb,
+        }
+
+
+class JobLifecycleTracker:
+    """Builds :class:`JobLifecycle` objects from the event stream.
+
+    Attach with ``bus.subscribe_many(LIFECYCLE_CHANNELS,
+    tracker.observe)`` (what :class:`~repro.obs.session.ObsSession`
+    does) *before* the run starts; read ``tracker.jobs`` /
+    ``tracker.reservations`` after it drains.
+    """
+
+    def __init__(self):
+        self.jobs: Dict[int, JobLifecycle] = {}
+        self.reservations: Dict[int, ReservationRecord] = {}
+        #: job_id -> (reservation_id, first_blocked_t) of an assignment
+        #: whose migration has not started yet.
+        self._pending_assign: Dict[int, Tuple[int, Optional[float]]] = {}
+        #: job_id -> reservation cause awaiting the dedicated run start.
+        self._await_dedicated: Dict[int, dict] = {}
+        #: job_id -> time of the most recent blocking event naming it.
+        self._last_blocking: Dict[int, Tuple[float, int]] = {}
+
+    # ------------------------------------------------------------------
+    def attach(self, bus: EventBus) -> "JobLifecycleTracker":
+        bus.subscribe_many(LIFECYCLE_CHANNELS, self.observe)
+        return self
+
+    # ------------------------------------------------------------------
+    def _lifecycle(self, job_id: int, time: float) -> JobLifecycle:
+        life = self.jobs.get(job_id)
+        if life is None:
+            # A job observed without a submit event (driven straight
+            # through Workstation.add_job in tests): treat first sight
+            # as the submit instant so the partition still closes.
+            life = JobLifecycle(job_id, submit_time=time)
+            self.jobs[job_id] = life
+        return life
+
+    def observe(self, event: ObsEvent) -> None:
+        channel = event.channel
+        if channel == "cluster.job":
+            self._on_job(event)
+        elif channel == "cluster.placement":
+            self._on_placement(event)
+        elif channel == "cluster.migration":
+            self._on_migration(event)
+        elif channel == "reconfig.blocking":
+            self._on_blocking(event)
+        elif channel == "reconfig.reservation":
+            self._on_reservation(event)
+        # fault.injection events only matter through the stop/requeue
+        # events they trigger; nothing to do here (yet).
+
+    # ------------------------------------------------------------------
+    # cluster.job
+    # ------------------------------------------------------------------
+    def _on_job(self, event: ObsEvent) -> None:
+        data = event.data
+        job_id = data["job"]
+        t = event.time
+        if event.kind == "submit":
+            life = self.jobs.get(job_id)
+            if life is None:
+                life = JobLifecycle(
+                    job_id, submit_time=t,
+                    program=data.get("program", "?"),
+                    home_node=data.get("home"),
+                    cpu_work_s=data.get("cpu_work_s", 0.0))
+                self.jobs[job_id] = life
+            life.open_span(Span("queued", "pending", t,
+                                node=data.get("home")))
+        elif event.kind == "start":
+            life = self._lifecycle(job_id, t)
+            if life._open is not None:
+                gap = life.close_open(t)
+                if gap.category is None:
+                    # Detached with no migration event: the suspension
+                    # policy's off-node wait, attributed as pending.
+                    gap.kind = "suspended"
+                    gap.category = "pending"
+            cause = self._await_dedicated.pop(job_id, None)
+            dedicated = bool(data.get("dedicated"))
+            kind = "run-dedicated" if dedicated else "run"
+            span = life.open_span(Span(kind, "run", t,
+                                       node=data.get("node"), cause=cause))
+            life._run_baseline = (data.get("cpu_s", 0.0),
+                                  data.get("page_s", 0.0),
+                                  data.get("io_s", 0.0))
+            if cause is not None and "blocked_from" in cause \
+                    and cause["blocked_from"] is not None:
+                wait = t - cause["blocked_from"]
+                if wait > 0:
+                    life.reservation_wait_s += wait
+                    span.detail["reservation_wait_s"] = wait
+        elif event.kind == "stop":
+            life = self._lifecycle(job_id, t)
+            self._close_run(life, t, data)
+            if data.get("reason") == "crash":
+                life.open_span(Span("crash-requeue", "pending", t,
+                                    cause={"type": "crash",
+                                           "node": data.get("node"),
+                                           "time": t}))
+            else:
+                # Migration-out or suspension; resolved by the
+                # cluster.migration event arriving at the same instant
+                # (or by the next start, for suspensions).
+                life.open_span(Span("offnode", None, t,
+                                    node=data.get("node")))
+        elif event.kind == "finish":
+            life = self._lifecycle(job_id, t)
+            self._close_run(life, t, data)
+            life.finish_time = t
+        elif event.kind == "requeue":
+            life = self._lifecycle(job_id, t)
+            if life._open is not None and life._open.category == "pending":
+                # The crash stop at this instant already opened the
+                # pending span; just record the requeue.
+                pass
+            else:
+                span = life.close_open(t)
+                if span is not None and span.category is None:
+                    # In-flight destination died mid-transfer.
+                    span.kind = "migration"
+                    span.category = "transfer"
+                life.open_span(Span("requeue-wait", "pending", t,
+                                    cause={"type": "requeue",
+                                           "reason": data.get("reason")}))
+            life.requeues += 1
+            self._await_dedicated.pop(job_id, None)
+
+    def _close_run(self, life: JobLifecycle, t: float, data: dict) -> None:
+        """Close the open run span, attributing its time from the
+        accounting deltas carried by the stop/finish event."""
+        span = life._open
+        if span is None:
+            return
+        life.close_open(t)
+        if span.category != "run":
+            return
+        baseline = life._run_baseline or (0.0, 0.0, 0.0)
+        life._run_baseline = None
+        cpu = data.get("cpu_s", 0.0) - baseline[0]
+        paging = data.get("page_s", 0.0) - baseline[1]
+        io = data.get("io_s", 0.0) - baseline[2]
+        duration = span.duration_s
+        # Contention is the residual by construction, so the four
+        # buckets sum to the segment duration identically.
+        contention = duration - cpu - paging - io
+        span.attribution = {"cpu": cpu, "paging": paging, "io": io,
+                            "contention": contention}
+
+    # ------------------------------------------------------------------
+    # placements / migrations
+    # ------------------------------------------------------------------
+    def _on_placement(self, event: ObsEvent) -> None:
+        data = event.data
+        job_id = data.get("job")
+        if job_id is None:
+            return
+        life = self._lifecycle(job_id, event.time)
+        if event.kind == "remote":
+            span = life.close_open(event.time)
+            if span is not None and span.category is None:
+                span.kind = "suspended"
+                span.category = "pending"
+            life.open_span(Span("remote-submit", "transfer", event.time,
+                                node=data.get("node"),
+                                cause={"type": "remote-submission",
+                                       "home": data.get("home"),
+                                       "dest": data.get("node")}))
+        elif event.kind == "local" and life._open is not None \
+                and life._open.category == "pending":
+            life._open.detail["placed_node"] = data.get("node")
+
+    def _on_migration(self, event: ObsEvent) -> None:
+        data = event.data
+        job_id = data.get("job")
+        if job_id is None:
+            return
+        life = self._lifecycle(job_id, event.time)
+        life.migrations += 1
+        span = life._open
+        if span is None or span.category is not None:
+            return
+        span.kind = "migration"
+        span.category = "transfer"
+        span.node = data.get("dest")
+        span.detail.update({"source": data.get("source", -1),
+                            "dest": data.get("dest", -1),
+                            "image_mb": data.get("image_mb", 0.0),
+                            "first_attempt_delay_s": data.get("delay_s",
+                                                              0.0)})
+        assign = self._pending_assign.pop(job_id, None)
+        if data.get("dedicated") and assign is not None:
+            rid, blocked_from = assign
+            span.cause = {"type": "reservation", "reservation": rid,
+                          "blocked_from": blocked_from}
+            self._await_dedicated[job_id] = dict(span.cause)
+        else:
+            last = self._last_blocking.get(job_id)
+            if last is not None:
+                span.cause = {"type": "blocking", "time": last[0],
+                              "node": last[1]}
+            else:
+                span.cause = {"type": "overload",
+                              "node": data.get("source")}
+
+    # ------------------------------------------------------------------
+    # blocking / reservations
+    # ------------------------------------------------------------------
+    def _on_blocking(self, event: ObsEvent) -> None:
+        if event.kind != "blocking":
+            return
+        job_id = event.data.get("job")
+        if job_id is None:
+            return
+        node = event.data.get("node")
+        self._last_blocking[job_id] = (event.time, node)
+        life = self.jobs.get(job_id)
+        if life is not None and life._open is not None \
+                and life._open.category == "run" \
+                and life._first_blocked is None:
+            life._first_blocked = event.time
+
+    def _on_reservation(self, event: ObsEvent) -> None:
+        data = event.data
+        rid = data.get("reservation")
+        if rid is None:
+            return
+        t = event.time
+        record = self.reservations.get(rid)
+        if event.kind == "reserve":
+            self.reservations[rid] = ReservationRecord(
+                rid, data.get("node"), t,
+                needed_mb=data.get("needed_mb", 0.0))
+            return
+        if record is None:
+            # Lifecycle event for a reservation whose reserve predates
+            # the subscription; synthesize an open record.
+            record = ReservationRecord(rid, data.get("node"), t,
+                                       needed_mb=data.get("needed_mb", 0.0))
+            self.reservations[rid] = record
+        if event.kind == "ready":
+            record.ready_at = t
+        elif event.kind == "assign":
+            job_id = data.get("job")
+            if job_id is not None:
+                record.job_ids.append(job_id)
+                life = self.jobs.get(job_id)
+                blocked_from = (life._first_blocked
+                                if life is not None else None)
+                self._pending_assign[job_id] = (rid, blocked_from)
+        elif event.kind in ("release", "cancel", "crash-abort"):
+            record.closed_at = t
+            record.outcome = event.kind
+        elif event.kind in ("timeout", "backoff-cancel"):
+            record.outcome = event.kind
+
+    # ------------------------------------------------------------------
+    # results
+    # ------------------------------------------------------------------
+    def finalize(self, end_time: Optional[float] = None) -> None:
+        """Close spans left open by jobs that never finished (should
+        not happen on a drained run; kept for robustness)."""
+        if end_time is None:
+            end_time = max((life.spans[-1].end or life.spans[-1].start
+                            for life in self.jobs.values() if life.spans),
+                           default=0.0)
+        for life in self.jobs.values():
+            if life._open is not None:
+                span = life.close_open(end_time)
+                if span is not None and span.category is None:
+                    span.category = "transfer"
+
+    def finished_jobs(self) -> List[JobLifecycle]:
+        return [life for life in self.jobs.values() if life.finished]
+
+    def aggregate(self) -> Dict[str, float]:
+        """Per-run attribution totals and mean slowdown decomposition,
+        flat and float-valued so it merges into ``RunSummary.extra``
+        (prefixed ``lifecycle_``) and crosses process boundaries."""
+        finished = self.finished_jobs()
+        out: Dict[str, float] = {
+            "lifecycle_jobs": float(len(finished)),
+            "lifecycle_reservations": float(len(self.reservations)),
+        }
+        totals = {key: [] for key in ATTRIBUTION_KEYS}
+        slowdown_parts = {key: [] for key in ATTRIBUTION_KEYS}
+        residuals = []
+        reservation_wait = []
+        blocked = []
+        for life in finished:
+            attribution = life.attribution()
+            sd = life.slowdown_attribution()
+            for key in ATTRIBUTION_KEYS:
+                totals[key].append(attribution[key])
+                slowdown_parts[key].append(sd[key])
+            residuals.append(abs(life.partition_residual_s()))
+            reservation_wait.append(life.reservation_wait_s)
+            blocked.append(life.blocked_s)
+        for key in ATTRIBUTION_KEYS:
+            out[f"lifecycle_{key}_s"] = math.fsum(totals[key])
+            out[f"lifecycle_slowdown_{key}"] = (
+                math.fsum(slowdown_parts[key]) / len(finished)
+                if finished else 0.0)
+        out["lifecycle_reservation_wait_s"] = math.fsum(reservation_wait)
+        out["lifecycle_blocked_s"] = math.fsum(blocked)
+        out["lifecycle_residual_max_s"] = max(residuals, default=0.0)
+        return out
+
+    def to_jsonable(self) -> dict:
+        return {
+            "jobs": [self.jobs[job_id].to_jsonable()
+                     for job_id in sorted(self.jobs)],
+            "reservations": [self.reservations[rid].to_jsonable()
+                             for rid in sorted(self.reservations)],
+        }

@@ -11,7 +11,8 @@ boundaries in parallel sweeps.
 
 from __future__ import annotations
 
-from typing import Dict, Union
+import re
+from typing import Dict, Optional, TextIO, Union
 
 
 class Counter:
@@ -116,3 +117,83 @@ class MetricsRegistry:
             else:
                 out[name] = instrument.value
         return out
+
+    def write_prom(self, target: Union[str, TextIO],
+                   namespace: str = "repro",
+                   labels: Optional[Dict[str, str]] = None) -> int:
+        """Write the registry in Prometheus text exposition format.
+
+        Counters keep their native type; gauges are gauges; a
+        histogram becomes a Prometheus *summary* (``_count``/``_sum``
+        plus min/max/avg gauges — the registry keeps no buckets).
+        ``labels`` are attached to every sample (e.g. ``{"policy":
+        "v-reconfiguration", "trace": "APP-1"}``), so sweep scrapes
+        stay distinguishable.  Returns the number of samples written.
+        """
+        label_str = ""
+        if labels:
+            pairs = ",".join(
+                f'{_prom_name(key)}="{_prom_escape(value)}"'
+                for key, value in sorted(labels.items()))
+            label_str = "{" + pairs + "}"
+        lines = []
+        samples = 0
+        for name in sorted(self._instruments):
+            instrument = self._instruments[name]
+            metric = f"{namespace}_{_prom_name(name)}"
+            if isinstance(instrument, Counter):
+                lines.append(f"# TYPE {metric} counter")
+                lines.append(f"{metric}{label_str} "
+                             f"{_prom_value(instrument.value)}")
+                samples += 1
+            elif isinstance(instrument, Gauge):
+                lines.append(f"# TYPE {metric} gauge")
+                lines.append(f"{metric}{label_str} "
+                             f"{_prom_value(instrument.value)}")
+                samples += 1
+            else:
+                lines.append(f"# TYPE {metric} summary")
+                lines.append(f"{metric}_count{label_str} "
+                             f"{instrument.count}")
+                lines.append(f"{metric}_sum{label_str} "
+                             f"{_prom_value(instrument.total)}")
+                samples += 2
+                if instrument.count:
+                    for suffix, value in (
+                            ("min", instrument.min),
+                            ("max", instrument.max),
+                            ("avg", instrument.total / instrument.count)):
+                        gauge = f"{metric}_{suffix}"
+                        lines.append(f"# TYPE {gauge} gauge")
+                        lines.append(f"{gauge}{label_str} "
+                                     f"{_prom_value(value)}")
+                        samples += 1
+        payload = "\n".join(lines) + ("\n" if lines else "")
+        if isinstance(target, str):
+            with open(target, "w") as stream:
+                stream.write(payload)
+        else:
+            target.write(payload)
+        return samples
+
+
+_PROM_BAD = re.compile(r"[^a-zA-Z0-9_:]")
+
+
+def _prom_name(name: str) -> str:
+    """Sanitize to the Prometheus metric/label name charset."""
+    name = _PROM_BAD.sub("_", name)
+    if name and name[0].isdigit():
+        name = "_" + name
+    return name
+
+
+def _prom_escape(value: str) -> str:
+    return (str(value).replace("\\", r"\\").replace('"', r'\"')
+            .replace("\n", r"\n"))
+
+
+def _prom_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))

@@ -32,11 +32,15 @@ from __future__ import annotations
 
 import json
 import time
+from collections import deque
 from contextlib import contextmanager
-from typing import TYPE_CHECKING, Dict, List, Optional, TextIO, Union
+from typing import (TYPE_CHECKING, Deque, Dict, List, Optional, TextIO,
+                    Union)
 
 from repro.obs.bus import CHANNELS, EventBus, ObsEvent
+from repro.obs.lifecycle import JobLifecycleTracker
 from repro.obs.metrics import MetricsRegistry
+from repro.obs.sampler import ClusterSampler
 from repro.obs.trace_export import write_chrome_trace, write_jsonl
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -57,13 +61,39 @@ class ObsSession:
 
     def __init__(self, record_events: bool = True,
                  record_sim_events: bool = False,
-                 run_label: str = "run"):
+                 run_label: str = "run",
+                 max_events: Optional[int] = None,
+                 stream_log: Union[str, TextIO, None] = None,
+                 lifecycle: bool = False,
+                 sample_period: Optional[float] = None):
+        """``max_events`` bounds the in-memory event buffer (a ring:
+        the newest events win).  ``stream_log`` writes every observed
+        event to a JSONL file *as it happens* — independent of
+        ``record_events``, so long runs get a full on-disk log without
+        buffering it all in memory.  ``lifecycle=True`` attaches a
+        :class:`~repro.obs.lifecycle.JobLifecycleTracker`;
+        ``sample_period`` (seconds of simulated time) attaches a
+        :class:`~repro.obs.sampler.ClusterSampler`.  Both fold their
+        aggregates into the metrics snapshot at finalize."""
         self.registry = MetricsRegistry()
-        self.events: List[ObsEvent] = []
+        if max_events is not None and max_events <= 0:
+            raise ValueError(f"max_events must be positive: {max_events!r}")
+        self.max_events = max_events
+        self.events: Union[List[ObsEvent], Deque[ObsEvent]] = (
+            [] if max_events is None else deque(maxlen=max_events))
         self.record_events = record_events
         self.record_sim_events = record_sim_events
         self.run_label = run_label
         self.cluster: Optional["Cluster"] = None
+        self.lifecycle: Optional[JobLifecycleTracker] = (
+            JobLifecycleTracker() if lifecycle else None)
+        self.sample_period = sample_period
+        self.sampler: Optional[ClusterSampler] = None
+        self._stream_target = stream_log
+        self._stream: Optional[TextIO] = None
+        self._stream_owned = False
+        self._streamed_events = 0
+        self._summary: Optional["RunSummary"] = None
         self._reserve_started: Dict[int, float] = {}
         self._finalized = False
 
@@ -76,10 +106,22 @@ class ObsSession:
         if self.cluster is not None:
             raise ValueError("ObsSession is single-use; already attached")
         self.cluster = cluster
+        if self._stream_target is not None:
+            if isinstance(self._stream_target, str):
+                self._stream = open(self._stream_target, "w",
+                                    encoding="utf-8")
+                self._stream_owned = True
+            else:
+                self._stream = self._stream_target
         bus: EventBus = cluster.obs
         bus.subscribe_many(TRACE_CHANNELS, self._observe)
         if self.record_sim_events:
             bus.subscribe("sim.event", self._observe_sim_event)
+        if self.lifecycle is not None:
+            self.lifecycle.attach(bus)
+        if self.sample_period is not None:
+            self.sampler = ClusterSampler(cluster,
+                                          self.sample_period).start()
         return self
 
     # ------------------------------------------------------------------
@@ -88,6 +130,9 @@ class ObsSession:
     def _observe(self, event: ObsEvent) -> None:
         if self.record_events:
             self.events.append(event)
+        if self._stream is not None:
+            self._stream.write(json.dumps(event.to_jsonable()) + "\n")
+            self._streamed_events += 1
         registry = self.registry
         channel = event.channel
         if channel == "cluster.placement":
@@ -131,6 +176,9 @@ class ObsSession:
         self.registry.counter("sim_events_observed").inc()
         if self.record_events:
             self.events.append(event)
+        if self._stream is not None:
+            self._stream.write(json.dumps(event.to_jsonable()) + "\n")
+            self._streamed_events += 1
 
     # ------------------------------------------------------------------
     # phase timing
@@ -151,16 +199,34 @@ class ObsSession:
     # ------------------------------------------------------------------
     def finalize(self, summary: Optional["RunSummary"] = None
                  ) -> Dict[str, float]:
-        """Fold in engine gauges and (optionally) merge the snapshot
-        into ``summary.extra`` under the ``obs.`` prefix."""
+        """Fold in engine gauges, lifecycle/sampler aggregates, and
+        (optionally) merge the snapshot into ``summary.extra`` under
+        the ``obs.`` prefix.  Also closes a session-owned streaming
+        log."""
         if self.cluster is not None and not self._finalized:
             sim = self.cluster.sim
             self.registry.gauge("sim_events_executed").set(sim.event_count)
             self.registry.gauge("heap_compactions").set(sim.compactions)
             self.registry.gauge("recorded_events").set(len(self.events))
+            if self._stream is not None:
+                self.registry.gauge("streamed_events").set(
+                    self._streamed_events)
+                if self._stream_owned:
+                    self._stream.close()
+                else:
+                    self._stream.flush()
+                self._stream = None
+            if self.lifecycle is not None:
+                self.lifecycle.finalize(end_time=sim.now)
+                for key, value in self.lifecycle.aggregate().items():
+                    self.registry.gauge(key).set(value)
+            if self.sampler is not None:
+                for key, value in self.sampler.aggregate().items():
+                    self.registry.gauge(key).set(value)
             self._finalized = True
         snapshot = self.registry.snapshot()
         if summary is not None:
+            self._summary = summary
             for key, value in snapshot.items():
                 summary.extra[EXTRA_PREFIX + key] = value
         return snapshot
@@ -184,3 +250,42 @@ class ObsSession:
         else:
             target.write(payload + "\n")
         return snapshot
+
+    def write_prom(self, target: Union[str, TextIO],
+                   labels: Optional[Dict[str, str]] = None) -> int:
+        """Write the metrics in Prometheus text exposition format
+        (labels default to the run label)."""
+        self.finalize()
+        if labels is None:
+            labels = {"run": self.run_label}
+        return self.registry.write_prom(target, labels=labels)
+
+    def write_sampler_csv(self, target: Union[str, TextIO]) -> int:
+        """Write the cluster sampler's wide-row CSV time series."""
+        if self.sampler is None:
+            raise ValueError(
+                "no sampler attached (pass sample_period= to ObsSession)")
+        if isinstance(target, str):
+            with open(target, "w", encoding="utf-8") as stream:
+                return self.sampler.write_csv(stream)
+        return self.sampler.write_csv(target)
+
+    def write_report(self, target: str,
+                     title: Optional[str] = None) -> str:
+        """Render this run's self-contained HTML report.
+
+        Requires ``lifecycle=True`` and a prior ``finalize(summary)``
+        (what the experiment runners do)."""
+        if self.lifecycle is None:
+            raise ValueError(
+                "no lifecycle tracker (pass lifecycle=True to ObsSession)")
+        if self._summary is None:
+            raise ValueError("finalize(summary) has not run yet")
+        import dataclasses
+
+        from repro.obs.report import render_run_report, write_report
+        summary = dataclasses.asdict(self._summary)
+        html = render_run_report(
+            title or f"Run report — {self.run_label}",
+            summary, self.lifecycle, self.sampler)
+        return write_report(target, html)

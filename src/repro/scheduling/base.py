@@ -83,6 +83,7 @@ class LoadSharingPolicy:
         self._obs_place = cluster.obs.channel("cluster.placement")
         self._obs_migrate = cluster.obs.channel("cluster.migration")
         self._obs_block = cluster.obs.channel("reconfig.blocking")
+        self._obs_job = cluster.obs.channel("cluster.job")
         if cluster.faults is not None:
             cluster.faults.policy = self
         cluster.on_node_changed(self._on_node_changed)
@@ -96,6 +97,11 @@ class LoadSharingPolicy:
         self.stats.submissions += 1
         job.state = JobState.PENDING
         self._wait_started[job.job_id] = self.sim.now
+        obs = self._obs_job
+        if obs.enabled:
+            obs.emit(self.sim.now, "submit", job=job.job_id,
+                     home=job.home_node, cpu_work_s=job.cpu_work_s,
+                     demand_mb=job.current_demand_mb, program=job.program)
         if not self._try_place(job):
             self._enqueue_pending(job)
 
@@ -366,6 +372,10 @@ class LoadSharingPolicy:
         self.cluster.faults.record_inflight_requeue(job)
         job.state = JobState.PENDING
         self._wait_started[job.job_id] = self.sim.now
+        obs = self._obs_job
+        if obs.enabled:
+            obs.emit(self.sim.now, "requeue", job=job.job_id,
+                     reason="in-flight")
         if not self._try_place(job):
             self._enqueue_pending(job)
 
@@ -375,8 +385,12 @@ class LoadSharingPolicy:
         ``node`` re-enter the submission path in their running order.
         The injector has already applied the crash policy (progress
         reset for ``requeue``, kept for ``checkpoint``)."""
+        obs = self._obs_job
         for job in jobs:
             self._wait_started[job.job_id] = self.sim.now
+            if obs.enabled:
+                obs.emit(self.sim.now, "requeue", job=job.job_id,
+                         reason="crash", node=node.node_id)
             if not self._try_place(job):
                 self._enqueue_pending(job)
 

@@ -1,0 +1,231 @@
+"""Job-lifecycle causal tracing and slowdown attribution.
+
+The acceptance criterion of the lifecycle tracker is the partition
+invariant: for **every** job of a 32-node paper-trace run — with and
+without fault injection — the top-level spans tile the job's wall
+time exactly (float-exact boundary contiguity, residual at float-
+summation noise) and the six attribution buckets sum back to it.
+"""
+
+import json
+import math
+
+import pytest
+
+from repro.experiments.runner import run_experiment
+from repro.experiments.scenario import run_blocking_scenario
+from repro.faults.config import FaultConfig
+from repro.obs.lifecycle import (
+    ATTRIBUTION_KEYS,
+    JobLifecycle,
+    JobLifecycleTracker,
+    Span,
+)
+from repro.obs.session import ObsSession
+from repro.scheduling import GLoadSharing
+from repro.workload.programs import WorkloadGroup
+
+from helpers import drive, job, tiny_cluster
+
+#: Residual tolerance: math.fsum over ~dozens of spans of O(1e3)
+#: seconds keeps the error many orders below this.
+RESIDUAL_TOL = 1e-6
+
+
+def traced_experiment(policy, faults=None):
+    obs = ObsSession(record_events=False, lifecycle=True)
+    result = run_experiment(WorkloadGroup.APP, 1, policy=policy, seed=3,
+                            obs=obs, faults=faults)
+    return obs.lifecycle, result
+
+
+@pytest.fixture(scope="module")
+def scenario_tracker():
+    """One traced blocking-scenario V run shared by the causal tests."""
+    obs = ObsSession(record_events=False, lifecycle=True)
+    result = run_blocking_scenario("v-reconfiguration", obs=obs)
+    return obs.lifecycle, result
+
+
+class TestPartitionInvariant:
+    """The acceptance property, on the paper's own workload."""
+
+    @pytest.mark.parametrize("policy", ["g-loadsharing",
+                                        "v-reconfiguration"])
+    @pytest.mark.parametrize("faulty", [False, True],
+                             ids=["clean", "faults"])
+    def test_every_job_partitions_exactly(self, policy, faulty):
+        faults = (FaultConfig(mtbf_s=4000.0, mttr_s=300.0)
+                  if faulty else None)
+        tracker, result = traced_experiment(policy, faults=faults)
+        finished = tracker.finished_jobs()
+        assert len(finished) == result.summary.num_jobs
+        for life in finished:
+            life.check_partition()  # float-exact contiguity
+            assert abs(life.partition_residual_s()) <= RESIDUAL_TOL
+            attribution = life.attribution()
+            assert set(attribution) == set(ATTRIBUTION_KEYS)
+            assert abs(math.fsum(attribution.values()) - life.wall_s) \
+                <= RESIDUAL_TOL
+            assert abs(math.fsum(life.slowdown_attribution().values())
+                       - life.slowdown()) <= RESIDUAL_TOL
+
+    def test_slowdown_matches_the_paper_metric(self):
+        tracker, result = traced_experiment("g-loadsharing")
+        by_id = {life.job_id: life for life in tracker.finished_jobs()}
+        for job_obj in result.cluster.finished_jobs:
+            life = by_id[job_obj.job_id]
+            assert life.slowdown() == pytest.approx(job_obj.slowdown())
+            assert life.cpu_work_s == job_obj.cpu_work_s
+            assert life.submit_time == job_obj.submit_time
+            assert life.finish_time == job_obj.finish_time
+
+
+class TestCausalLinks:
+    """Blocking -> reservation -> transfer -> dedicated run."""
+
+    def test_reservations_recorded(self, scenario_tracker):
+        tracker, result = scenario_tracker
+        assert len(tracker.reservations) == \
+            result.summary.extra["reservations"]
+        for record in tracker.reservations.values():
+            assert record.reserved_at >= 0.0
+            assert record.needed_mb > 0.0
+            if record.outcome == "release":
+                assert record.closed_at >= record.reserved_at
+
+    def test_dedicated_runs_carry_the_reservation_cause(
+            self, scenario_tracker):
+        tracker, _ = scenario_tracker
+        dedicated = [(life, span)
+                     for life in tracker.finished_jobs()
+                     for span in life.spans
+                     if span.kind == "run-dedicated"]
+        assert dedicated  # the scenario deterministically rescues
+        for life, span in dedicated:
+            assert span.cause["type"] == "reservation"
+            rid = span.cause["reservation"]
+            assert life.job_id in tracker.reservations[rid].job_ids
+            assert span.cause["blocked_from"] is not None
+            assert life.reservation_wait_s > 0.0
+            assert span.detail["reservation_wait_s"] == pytest.approx(
+                span.start - span.cause["blocked_from"])
+
+    def test_rescue_transfer_caused_by_the_same_reservation(
+            self, scenario_tracker):
+        tracker, _ = scenario_tracker
+        for life in tracker.finished_jobs():
+            spans = life.spans
+            for i, span in enumerate(spans):
+                if span.kind != "run-dedicated":
+                    continue
+                transfer = spans[i - 1]
+                assert transfer.category == "transfer"
+                assert transfer.cause["type"] == "reservation"
+                assert transfer.cause["reservation"] == \
+                    span.cause["reservation"]
+
+    def test_blocked_overlay_spans(self, scenario_tracker):
+        tracker, _ = scenario_tracker
+        blocked = [child
+                   for life in tracker.finished_jobs()
+                   for span in life.spans
+                   for child in span.children
+                   if child.kind == "blocked"]
+        assert blocked
+        for child in blocked:
+            assert child.duration_s > 0.0
+            assert child.cause == {"type": "blocking"}
+        total = math.fsum(child.duration_s for child in blocked)
+        assert total == pytest.approx(math.fsum(
+            life.blocked_s for life in tracker.finished_jobs()))
+
+    def test_tracker_json_round_trips(self, scenario_tracker):
+        tracker, _ = scenario_tracker
+        document = json.loads(json.dumps(tracker.to_jsonable()))
+        assert len(document["jobs"]) == len(tracker.jobs)
+        assert len(document["reservations"]) == len(tracker.reservations)
+        sample = document["jobs"][0]
+        assert sample["spans"]
+        assert sample["attribution"] is not None
+
+
+class TestAggregates:
+    def test_aggregate_reaches_summary_extra(self, scenario_tracker):
+        tracker, result = scenario_tracker
+        extra = result.summary.extra
+        agg = tracker.aggregate()
+        assert extra["obs.lifecycle_jobs"] == agg["lifecycle_jobs"]
+        assert agg["lifecycle_jobs"] == result.summary.num_jobs
+        assert agg["lifecycle_residual_max_s"] <= RESIDUAL_TOL
+        for key in ATTRIBUTION_KEYS:
+            assert f"lifecycle_{key}_s" in agg
+            assert extra[f"obs.lifecycle_slowdown_{key}"] == \
+                agg[f"lifecycle_slowdown_{key}"]
+
+    def test_mean_slowdown_decomposition_sums_to_the_mean(
+            self, scenario_tracker):
+        tracker, result = scenario_tracker
+        agg = tracker.aggregate()
+        mean = math.fsum(agg[f"lifecycle_slowdown_{key}"]
+                         for key in ATTRIBUTION_KEYS)
+        assert mean == pytest.approx(result.summary.average_slowdown)
+
+    def test_empty_tracker_aggregate(self):
+        agg = JobLifecycleTracker().aggregate()
+        assert agg["lifecycle_jobs"] == 0.0
+        assert agg["lifecycle_residual_max_s"] == 0.0
+        for key in ATTRIBUTION_KEYS:
+            assert agg[f"lifecycle_slowdown_{key}"] == 0.0
+
+
+class TestTinyClusterLifecycles:
+    def traced_drive(self, jobs, **cluster_kwargs):
+        cluster = tiny_cluster(**cluster_kwargs)
+        tracker = JobLifecycleTracker().attach(cluster.obs)
+        policy = GLoadSharing(cluster)
+        drive(policy, jobs)
+        cluster.sim.run()
+        tracker.finalize(end_time=cluster.sim.now)
+        return tracker
+
+    def test_simple_job_span_shape(self):
+        tracker = self.traced_drive([job(work=20.0, submit=1.0)])
+        (life,) = tracker.finished_jobs()
+        kinds = [span.kind for span in life.spans]
+        assert kinds[0] == "queued"
+        assert kinds[-1] == "run"
+        life.check_partition()
+        assert life.spans[0].start == 1.0
+
+    def test_implicit_submit_from_direct_add_job(self):
+        cluster = tiny_cluster()
+        tracker = JobLifecycleTracker().attach(cluster.obs)
+        cluster.nodes[0].add_job(job(work=10.0, demand=10.0))
+        cluster.sim.run()
+        (life,) = tracker.finished_jobs()
+        life.check_partition()  # first sight becomes the submit instant
+        assert life.attribution()["cpu"] > 0.0
+
+    def test_crash_requeue_partitions(self):
+        obs = ObsSession(record_events=False, lifecycle=True)
+        result = run_experiment(
+            WorkloadGroup.APP, 1, policy="g-loadsharing", seed=3,
+            obs=obs, faults=FaultConfig(mtbf_s=1500.0, mttr_s=120.0))
+        tracker = obs.lifecycle
+        requeued = [life for life in tracker.finished_jobs()
+                    if life.requeues > 0]
+        assert requeued  # the harsh MTBF guarantees casualties
+        for life in requeued:
+            life.check_partition()
+            assert any(span.kind in ("crash-requeue", "requeue-wait")
+                       for span in life.spans)
+
+    def test_finalize_closes_open_spans(self):
+        tracker = JobLifecycleTracker()
+        life = JobLifecycle(7, submit_time=0.0)
+        tracker.jobs[7] = life
+        life.open_span(Span("queued", "pending", 0.0))
+        tracker.finalize(end_time=5.0)
+        assert life.spans[-1].end == 5.0
+        assert not life.finished  # never finished, only closed

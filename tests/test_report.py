@@ -1,0 +1,181 @@
+"""Self-contained HTML run/sweep reports.
+
+No browser in CI, so the checks are structural: every inline SVG must
+be well-formed XML with finite coordinates, every chart ships its
+legend and table view, and the page references nothing external.
+"""
+
+import re
+import xml.etree.ElementTree as ET
+
+import pytest
+
+from repro.experiments.scenario import run_blocking_scenario
+from repro.obs.lifecycle import ATTRIBUTION_KEYS
+from repro.obs.report import (
+    comparison_row,
+    line_chart,
+    render_comparison_report,
+    render_run_report,
+    reservation_gantt,
+    stacked_bars,
+    write_report,
+)
+from repro.obs.session import ObsSession
+
+SVG_RE = re.compile(r"<svg.*?</svg>", re.S)
+NUMBER_RE = re.compile(r"-?\d+(?:\.\d+)?(?:e-?\d+)?$")
+
+
+def assert_svgs_well_formed(html_text, minimum=1):
+    """Parse every inline SVG; all numeric geometry must be finite."""
+    blocks = SVG_RE.findall(html_text)
+    assert len(blocks) >= minimum
+    for block in blocks:
+        root = ET.fromstring(block)
+        for element in root.iter():
+            for attr in ("x", "y", "width", "height", "cx", "cy", "r",
+                         "x1", "x2", "y1", "y2"):
+                value = element.get(attr)
+                if value is None or value.endswith("%"):
+                    continue
+                assert NUMBER_RE.match(value), \
+                    f"non-finite {attr}={value!r} in <{element.tag}>"
+    return blocks
+
+
+def assert_self_contained(html_text):
+    assert "http://" not in html_text
+    assert "https://" not in html_text
+    assert "<script" not in html_text
+    assert "<link" not in html_text
+    assert "@media (prefers-color-scheme: dark)" in html_text
+
+
+@pytest.fixture(scope="module")
+def run_report():
+    obs = ObsSession(record_events=False, lifecycle=True,
+                     sample_period=25.0, run_label="report-test")
+    run_blocking_scenario("v-reconfiguration", obs=obs)
+    import dataclasses
+
+    summary = dataclasses.asdict(obs._summary)
+    return render_run_report("Report test", summary, obs.lifecycle,
+                             obs.sampler), obs
+
+
+class TestRunReport:
+    def test_page_and_svgs(self, run_report):
+        html_text, _ = run_report
+        assert html_text.startswith("<!DOCTYPE html>")
+        assert_self_contained(html_text)
+        # attribution bars + idle memory + node state + gantt
+        assert_svgs_well_formed(html_text, minimum=4)
+
+    def test_sections_present(self, run_report):
+        html_text, _ = run_report
+        assert "Slowdown attribution" in html_text
+        assert "Idle memory" in html_text
+        assert "Reservation timeline" in html_text
+        assert "Per-job detail" in html_text
+
+    def test_every_chart_has_a_table_view(self, run_report):
+        html_text, _ = run_report
+        assert html_text.count("<details") >= \
+            len(SVG_RE.findall(html_text))
+
+    def test_legend_names_every_bucket(self, run_report):
+        html_text, _ = run_report
+        for label in ("CPU service", "Page-fault stalls", "Queue wait",
+                      "Migration transfer"):
+            assert label in html_text
+
+    def test_tooltips_on_marks(self, run_report):
+        html_text, _ = run_report
+        assert html_text.count("<title>") > 10
+
+    def test_write_report_requires_lifecycle(self, tmp_path):
+        obs = ObsSession(record_events=False)
+        with pytest.raises(ValueError, match="lifecycle"):
+            obs.write_report(str(tmp_path / "r.html"))
+
+    def test_session_write_report(self, run_report, tmp_path):
+        _, obs = run_report
+        target = str(tmp_path / "session.html")
+        assert obs.write_report(target) == target
+        with open(target) as stream:
+            text = stream.read()
+        assert "report-test" in text
+        assert_svgs_well_formed(text, minimum=4)
+
+
+class TestComparisonReport:
+    def rows(self):
+        rows = []
+        for policy, base in (("G", 3.0), ("V", 2.0)):
+            for i, x in enumerate((0.0, 2.0, 5.0)):
+                extra = {f"obs.lifecycle_slowdown_{k}": 0.2 + 0.1 * i
+                         for k in ATTRIBUTION_KEYS}
+                rows.append(comparison_row(
+                    f"{policy} @ {x:g}", policy, x,
+                    {"average_slowdown": base + i, "makespan_s": 100.0 + x,
+                     "total_queuing_time_s": 5.0, "migrations": i,
+                     "extra": extra}))
+        return rows
+
+    def test_renders_policy_series_and_bars(self):
+        html_text = render_comparison_report(
+            "Sweep", self.rows(), x_label="crash rate")
+        assert_self_contained(html_text)
+        # slowdown lines + makespan lines + attribution bars
+        assert_svgs_well_formed(html_text, minimum=3)
+        assert "Slowdown attribution per run" in html_text
+        assert "crash rate" in html_text
+        assert "All runs" in html_text
+
+    def test_incomplete_series_dropped_from_lines(self):
+        rows = self.rows()[:-1]  # V is missing its last sweep point
+        html_text = render_comparison_report("Sweep", rows)
+        svgs = assert_svgs_well_formed(html_text, minimum=3)
+        # the line charts only plot G; V still appears in bars/table
+        assert 'polyline' in svgs[0] or 'path' in svgs[0]
+        assert "V @ 2" in html_text
+
+    def test_empty_sweep(self):
+        html_text = render_comparison_report("Sweep", [])
+        assert "No runs" in html_text
+
+    def test_comparison_row_from_run_summary(self, tmp_path):
+        obs = ObsSession(record_events=False, lifecycle=True)
+        result = run_blocking_scenario("v-reconfiguration", obs=obs)
+        row = comparison_row("V", "V", 0.0, result.summary)
+        assert row["average_slowdown"] == result.summary.average_slowdown
+        parts = sum(row[f"slowdown_{k}"] for k in ATTRIBUTION_KEYS)
+        assert parts == pytest.approx(result.summary.average_slowdown)
+
+    def test_write_report_round_trip(self, tmp_path):
+        target = str(tmp_path / "cmp.html")
+        html_text = render_comparison_report("Sweep", self.rows())
+        assert write_report(target, html_text) == target
+        with open(target) as stream:
+            assert stream.read() == html_text
+
+
+class TestChartPrimitives:
+    def test_stacked_bars_empty_rows(self):
+        assert "no data" in stacked_bars([]).lower()
+
+    def test_line_chart_single_point(self):
+        svg = line_chart([1.0], [("only", "var(--c-cpu)", [2.0])])
+        ET.fromstring(SVG_RE.search(svg).group(0))
+
+    def test_gantt_empty(self):
+        assert "no reservations" in \
+            reservation_gantt([], t_max=10.0).lower()
+
+    def test_gantt_open_reservation_clamped(self):
+        records = [{"reservation": 1, "node": 3, "reserved_at": 2.0,
+                    "ready_at": None, "closed_at": None,
+                    "outcome": None, "jobs": [], "needed_mb": 10.0}]
+        svg = reservation_gantt(records, t_max=10.0)
+        ET.fromstring(SVG_RE.search(svg).group(0))

@@ -1,0 +1,121 @@
+"""ObsSession streaming logs, bounded buffers, and Prometheus export."""
+
+import io
+import json
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry
+from repro.obs.session import ObsSession
+
+from helpers import job, tiny_cluster
+
+
+def streamed_run(**session_kwargs):
+    cluster = tiny_cluster()
+    obs = ObsSession(**session_kwargs)
+    obs.attach(cluster)
+    for i in range(3):
+        cluster.nodes[i].add_job(job(work=10.0, demand=20.0))
+    cluster.sim.run()
+    return cluster, obs
+
+
+class TestStreamingLog:
+    def test_streams_to_path_and_closes_on_finalize(self, tmp_path):
+        target = tmp_path / "run.jsonl"
+        _, obs = streamed_run(record_events=False,
+                              stream_log=str(target))
+        snapshot = obs.finalize()
+        records = [json.loads(line)
+                   for line in target.read_text().splitlines()]
+        assert records
+        assert snapshot["streamed_events"] == len(records)
+        assert {"t", "channel", "kind"} <= set(records[0])
+        assert obs._stream is None  # session-owned handle closed
+
+    def test_streams_to_caller_owned_handle(self):
+        buffer = io.StringIO()
+        _, obs = streamed_run(record_events=False, stream_log=buffer)
+        obs.finalize()
+        assert not buffer.closed  # caller-owned: flushed, not closed
+        lines = buffer.getvalue().splitlines()
+        assert lines and json.loads(lines[0])
+
+    def test_stream_matches_recorded_events(self):
+        buffer = io.StringIO()
+        _, obs = streamed_run(record_events=True, stream_log=buffer)
+        obs.finalize()
+        streamed = [json.loads(line)
+                    for line in buffer.getvalue().splitlines()]
+        assert streamed == [e.to_jsonable() for e in obs.events]
+
+
+class TestBoundedBuffer:
+    def test_max_events_must_be_positive(self):
+        for bad in (0, -5):
+            with pytest.raises(ValueError, match="positive"):
+                ObsSession(max_events=bad)
+
+    def test_ring_keeps_the_newest_events(self):
+        _, unbounded = streamed_run(record_events=True)
+        total = len(unbounded.events)
+        cap = max(1, total // 2)
+        _, bounded = streamed_run(record_events=True, max_events=cap)
+        assert len(bounded.events) == cap
+        # Same run (job ids differ by the global counter), so the ring
+        # holds exactly the newest events.
+        def shape(events):
+            return [(e.channel, e.time, e.kind) for e in events]
+
+        assert shape(bounded.events) == shape(unbounded.events)[-cap:]
+
+    def test_recorded_events_gauge_reports_the_ring_size(self):
+        _, obs = streamed_run(record_events=True, max_events=5)
+        assert obs.finalize()["recorded_events"] == 5.0
+
+    def test_trace_export_works_from_the_ring(self):
+        _, obs = streamed_run(record_events=True, max_events=4)
+        document = obs.write_trace(io.StringIO())
+        assert document["otherData"]["events"] == 4
+
+
+class TestPromExport:
+    def test_registry_exposition_format(self):
+        registry = MetricsRegistry()
+        registry.counter("migrations").inc(3)
+        registry.gauge("idle-memory.mb").set(12.5)
+        registry.histogram("delay_s").observe(1.0)
+        registry.histogram("delay_s").observe(3.0)
+        buffer = io.StringIO()
+        count = registry.write_prom(buffer, namespace="repro",
+                                    labels={"run": 'a"b\\c'})
+        text = buffer.getvalue()
+        samples = [line for line in text.splitlines()
+                   if line and not line.startswith("#")]
+        assert count == len(samples)  # returns the sample count
+        assert "# TYPE repro_migrations counter" in text
+        assert 'repro_migrations{run="a\\"b\\\\c"} 3' in text
+        # Bad metric characters are sanitized for Prometheus.
+        assert "# TYPE repro_idle_memory_mb gauge" in text
+        assert "# TYPE repro_delay_s summary" in text
+        assert 'repro_delay_s_count{run="a\\"b\\\\c"} 2' in text
+        assert 'repro_delay_s_sum{run="a\\"b\\\\c"} 4' in text
+        assert "repro_delay_s_avg" in text
+
+    def test_no_labels(self):
+        registry = MetricsRegistry()
+        registry.counter("hits").inc()
+        buffer = io.StringIO()
+        registry.write_prom(buffer, labels={})
+        assert "repro_hits 1" in buffer.getvalue()
+
+    def test_session_write_prom_defaults_to_run_label(self, tmp_path):
+        _, obs = streamed_run(record_events=False,
+                              run_label="prom-test")
+        target = tmp_path / "metrics.prom"
+        count = obs.write_prom(str(target))
+        text = target.read_text()
+        assert count > 0
+        assert 'run="prom-test"' in text
+        assert "repro_sim_events_executed" in text

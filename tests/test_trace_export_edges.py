@@ -1,0 +1,137 @@
+"""Edge cases in event recording and trace export.
+
+Unmatched span pairs must still produce a loadable trace, a raising
+subscriber must not corrupt its peers, and run-log serialization must
+survive payloads that are not JSON-native.
+"""
+
+import io
+import json
+import warnings
+
+import pytest
+
+from repro.obs.bus import Channel, EventBus, ObsEvent, jsonable
+from repro.obs.trace_export import chrome_trace, write_chrome_trace
+
+
+def ev(channel, time, kind, **data):
+    return ObsEvent(channel, time, kind, data)
+
+
+class TestUnmatchedSpans:
+    def test_reserve_without_release_closes_at_end(self):
+        events = [
+            ev("reconfig.reservation", 1.0, "reserve",
+               reservation=7, node=2, needed_mb=40.0),
+            ev("cluster.placement", 9.0, "local", job=1, node=0),
+        ]
+        document = chrome_trace(events)
+        spans = [e for e in document["traceEvents"]
+                 if e.get("ph") == "X"]
+        (span,) = spans
+        assert span["name"] == "reservation r7 (open)"
+        assert span["ts"] == pytest.approx(1.0e6)
+        assert span["dur"] == pytest.approx(8.0e6)  # clamped to the end
+
+    def test_release_without_reserve_is_zero_length(self):
+        events = [ev("reconfig.reservation", 5.0, "release",
+                     reservation=3, node=1)]
+        document = chrome_trace(events)
+        (span,) = [e for e in document["traceEvents"]
+                   if e.get("ph") == "X"]
+        assert span["dur"] == 0.0  # start falls back to the end event
+
+    def test_thrash_on_without_off(self):
+        events = [
+            ev("memory.fault", 2.0, "thrash-on", node=4),
+            ev("cluster.placement", 6.0, "local", job=1, node=4),
+        ]
+        document = chrome_trace(events)
+        (span,) = [e for e in document["traceEvents"]
+                   if e.get("ph") == "X"]
+        assert span["name"] == "thrashing"
+        assert span["dur"] == pytest.approx(4.0e6)
+
+    def test_thrash_off_without_on(self):
+        document = chrome_trace([ev("memory.fault", 3.0, "thrash-off",
+                                    node=0)])
+        (span,) = [e for e in document["traceEvents"]
+                   if e.get("ph") == "X"]
+        assert span["dur"] == 0.0
+
+    def test_empty_stream_serializes(self):
+        buffer = io.StringIO()
+        document = write_chrome_trace([], buffer)
+        assert json.loads(buffer.getvalue()) == document
+        assert document["otherData"]["events"] == 0
+
+
+class TestBrokenSubscribers:
+    def test_raising_subscriber_is_isolated_and_unsubscribed(self):
+        channel = Channel("test")
+        seen_before, seen_after = [], []
+
+        def bad(event):
+            raise RuntimeError("boom")
+
+        channel.subscribe(seen_before.append)
+        channel.subscribe(bad)
+        channel.subscribe(seen_after.append)
+        with pytest.warns(RuntimeWarning, match="boom"):
+            channel.emit(1.0, "kind", node=0)
+        # Both peers received the event the offender raised on...
+        assert len(seen_before) == len(seen_after) == 1
+        # ...the offender is gone, and later emits are warning-free.
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            channel.emit(2.0, "kind", node=1)
+        assert len(seen_before) == len(seen_after) == 2
+        assert channel.enabled
+
+    def test_all_subscribers_broken_disables_the_channel(self):
+        channel = Channel("test")
+
+        def bad(event):
+            raise ValueError("nope")
+
+        channel.subscribe(bad)
+        with pytest.warns(RuntimeWarning):
+            channel.emit(0.0, "kind")
+        assert not channel.enabled
+
+    def test_same_subscriber_on_many_channels(self):
+        bus = EventBus()
+
+        def bad(event):
+            raise RuntimeError("dual")
+
+        bus.subscribe_many(("cluster.job", "cluster.migration"), bad)
+        with pytest.warns(RuntimeWarning):
+            bus.channel("cluster.job").emit(0.0, "submit", job=1)
+        # Only the raising channel drops it; the other stays wired.
+        assert not bus.channel("cluster.job").enabled
+        assert bus.channel("cluster.migration").enabled
+
+
+class TestNonJsonPayloads:
+    def test_jsonable_coercions(self):
+        assert jsonable({"a", "b"}) in (["a", "b"], ["b", "a"])
+        assert jsonable((1, 2)) == [1, 2]
+        assert jsonable({1: object()})["1"].startswith("<object")
+        assert jsonable(None) is None
+
+    def test_event_with_rich_payload_survives_dumps(self):
+        class Node:
+            def __str__(self):
+                return "node-3"
+
+        event = ObsEvent("cluster.migration", 1.5, "migrate",
+                         {"node": Node(), "path": (0, 3),
+                          "tags": {"hot"}, "nested": {"obj": Node()}})
+        record = json.loads(json.dumps(event.to_jsonable()))
+        assert record["node"] == "node-3"
+        assert record["path"] == [0, 3]
+        assert record["tags"] == ["hot"]
+        assert record["nested"]["obj"] == "node-3"
+        assert record["t"] == 1.5
