@@ -12,8 +12,11 @@ The harness measures five things on a fixed, seeded workload:
   before reporting the speedup;
 * **cluster-size scaling** — SPEC trace 3 under the memory policy at
   32 and 256 nodes with the candidate index on, plus 256 nodes with
-  the index off (the seed's full-rebuild path), verifying the indexed
-  and unindexed summaries are identical before reporting the speedup;
+  the index off (the seed's full-rebuild path) and 256 nodes with the
+  columnar (SoA) state layer off (the per-object path), verifying
+  that all 256-node summaries are identical before reporting the
+  speedups, and a 2048-node columnar run demonstrating
+  thousands-of-nodes scale;
 * **instrumentation overhead** — the single run repeated with a
   metrics-only obs session attached (see :mod:`repro.obs`), verifying
   the summaries are identical modulo the ``obs.*`` keys and reporting
@@ -99,6 +102,24 @@ BASELINE_PRE_CHANGE = {
 #: 256-node cluster, so it would not exercise the index at all.
 SCALE_BENCH_NODES = (32, 256)
 SCALE_BENCH_POLICY = "memory"
+#: Large-cluster leg: columnar path only (the per-object path at this
+#: size would dominate harness wall time without adding information).
+SCALE_BENCH_HUGE_NODES = 2048
+
+
+def _cpu_env() -> dict:
+    """CPU visibility at this instant, recorded per timed leg.
+
+    CI runners can reshape the affinity mask between legs (cgroup
+    throttling, noisy neighbors getting evicted); a single top-level
+    snapshot silently misattributes such shifts to the code under
+    test.
+    """
+    return {
+        "cpu_count": os.cpu_count(),
+        "affinity_cpus": (len(os.sched_getaffinity(0))
+                          if hasattr(os, "sched_getaffinity") else None),
+    }
 
 
 def sweep_specs(scale: float = SWEEP_SCALE) -> List[RunSpec]:
@@ -123,6 +144,7 @@ def measure_single_run(scale: float = SWEEP_SCALE) -> dict:
         "wall_s": wall_s,
         "events": events,
         "events_per_s": events / wall_s if wall_s > 0 else 0.0,
+        "env": _cpu_env(),
     }
 
 
@@ -287,7 +309,7 @@ def measure_sweep(jobs: int, scale: float = SWEEP_SCALE) -> dict:
     summaries = run_specs(specs, jobs=jobs)
     wall_s = time.perf_counter() - started
     return {"jobs": jobs, "wall_s": wall_s, "runs": len(summaries),
-            "summaries": summaries}
+            "summaries": summaries, "env": _cpu_env()}
 
 
 def _timed_run(config, scale: float) -> dict:
@@ -308,15 +330,20 @@ def _timed_run(config, scale: float) -> dict:
         "wall_s": wall_s,
         "events": events,
         "events_per_s": events / wall_s if wall_s > 0 else 0.0,
+        "env": _cpu_env(),
         "summary": result.summary,
     }
 
 
 def measure_scale_bench(scale: float = SWEEP_SCALE) -> dict:
-    """Indexed vs unindexed throughput as the cluster grows.
+    """Throughput as the cluster grows, against both escape hatches.
 
-    The indexed and unindexed 256-node summaries must be identical —
-    the index is a pure optimization.
+    At the big size the candidate index and the columnar state layer
+    are each switched off in turn; all three 256-node summaries must
+    be identical — both are pure optimizations.  The 2048-node leg
+    demonstrates thousands-of-nodes scale on the columnar path (no
+    differential twin at that size: the per-object path would dominate
+    harness wall time without adding information).
     """
     runs = {}
     for nodes in SCALE_BENCH_NODES:
@@ -326,22 +353,36 @@ def measure_scale_bench(scale: float = SWEEP_SCALE) -> dict:
     cfg = default_config(WorkloadGroup.SPEC).replace(
         num_nodes=big, indexed_selection=False)
     runs[f"nodes_{big}_unindexed"] = _timed_run(cfg, scale)
-    if (runs[f"nodes_{big}_indexed"]["summary"]
-            != runs[f"nodes_{big}_unindexed"]["summary"]):
+    cfg = default_config(WorkloadGroup.SPEC).replace(
+        num_nodes=big, columnar=False)
+    runs[f"nodes_{big}_columnar_off"] = _timed_run(cfg, scale)
+    baseline_summary = runs[f"nodes_{big}_indexed"]["summary"]
+    if baseline_summary != runs[f"nodes_{big}_unindexed"]["summary"]:
         raise AssertionError(
             "indexed and unindexed runs produced different summaries — "
             "the candidate index changed scheduling behavior")
+    if baseline_summary != runs[f"nodes_{big}_columnar_off"]["summary"]:
+        raise AssertionError(
+            "columnar and per-object runs produced different summaries "
+            "— the SoA state layer changed scheduling behavior")
+    huge_cfg = default_config(WorkloadGroup.SPEC).replace(
+        num_nodes=SCALE_BENCH_HUGE_NODES)
+    runs[f"nodes_{SCALE_BENCH_HUGE_NODES}_columnar"] = _timed_run(
+        huge_cfg, scale)
     indexed_wall = runs[f"nodes_{big}_indexed"]["wall_s"]
     unindexed_wall = runs[f"nodes_{big}_unindexed"]["wall_s"]
+    columnar_off_wall = runs[f"nodes_{big}_columnar_off"]["wall_s"]
     for entry in runs.values():
-        del entry["summary"]  # not JSON-serializable, equality checked
+        entry.pop("summary", None)  # not JSON-serializable
     return {
         "policy": SCALE_BENCH_POLICY,
         "scale": scale,
-        "nodes": list(SCALE_BENCH_NODES),
+        "nodes": list(SCALE_BENCH_NODES) + [SCALE_BENCH_HUGE_NODES],
         "runs": runs,
         "indexed_speedup_at_%d_nodes" % big: (
             unindexed_wall / indexed_wall if indexed_wall > 0 else 0.0),
+        "columnar_speedup_at_%d_nodes" % big: (
+            columnar_off_wall / indexed_wall if indexed_wall > 0 else 0.0),
         "summaries_identical": True,
     }
 
@@ -429,6 +470,17 @@ def committed_events_per_s(path: str) -> Optional[float]:
         return None
 
 
+def committed_scale_events_per_s(path: str,
+                                 leg: str) -> Optional[float]:
+    """Scale-bench events/sec of one leg from an existing report."""
+    try:
+        with open(path) as stream:
+            prior = json.load(stream)
+        return float(prior["scale_bench"]["runs"][leg]["events_per_s"])
+    except (OSError, KeyError, TypeError, ValueError, json.JSONDecodeError):
+        return None
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Time the quick-mode sweep and write BENCH_perf.json.")
@@ -453,6 +505,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="exit non-zero if fresh single-run events/s "
                              "is below R times the committed report's "
                              "figure (CI regression gate)")
+    parser.add_argument("--scale-fail-below-ratio", type=float,
+                        default=None, metavar="R",
+                        help="exit non-zero if the fresh 256-node "
+                             "scale-bench events/s is below R times the "
+                             "committed report's figure for the same leg "
+                             "(CI large-cluster regression gate)")
     parser.add_argument("--max-obs-overhead-factor", type=float,
                         default=None, metavar="F",
                         help="exit non-zero if the obs-on run is more "
@@ -462,8 +520,15 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.max_obs_overhead_factor is not None and args.no_obs_bench:
         parser.error("--max-obs-overhead-factor needs the obs bench; "
                      "drop --no-obs-bench")
+    if args.scale_fail_below_ratio is not None and args.no_scale_bench:
+        parser.error("--scale-fail-below-ratio needs the scale bench; "
+                     "drop --no-scale-bench")
     committed = (committed_events_per_s(args.output)
                  if args.fail_below_ratio is not None else None)
+    scale_gate_leg = "nodes_%d_indexed" % SCALE_BENCH_NODES[-1]
+    committed_scale = (
+        committed_scale_events_per_s(args.output, scale_gate_leg)
+        if args.scale_fail_below_ratio is not None else None)
     report = run_harness(jobs=args.jobs, scale=args.scale,
                          output=args.output,
                          scale_bench=not args.no_scale_bench,
@@ -486,10 +551,11 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"{name:22s}: {entry['events']} events in "
                   f"{entry['wall_s']:.2f}s = "
                   f"{entry['events_per_s']:,.0f} ev/s")
-        big = bench["nodes"][-1]
+        big = SCALE_BENCH_NODES[-1]
         ratio = bench[f"indexed_speedup_at_{big}_nodes"]
-        print(f"index speedup at {big} nodes: {ratio:.1f}x "
-              f"(identical summaries)")
+        col_ratio = bench[f"columnar_speedup_at_{big}_nodes"]
+        print(f"index speedup at {big} nodes: {ratio:.1f}x, columnar "
+              f"speedup {col_ratio:.1f}x (identical summaries)")
     if "obs_bench" in report:
         bench = report["obs_bench"]
         print(f"obs        : off {bench['obs_off']['events_per_s']:,.0f} "
@@ -530,6 +596,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                 return 1
             print(f"[perf gate ok: {fresh:,.0f} >= "
                   f"{args.fail_below_ratio:.0%} of {committed:,.0f} ev/s]")
+    if args.scale_fail_below_ratio is not None:
+        if committed_scale is None:
+            print("[no committed scale-bench figure to gate against; "
+                  "scale gate skipped]")
+        else:
+            floor = args.scale_fail_below_ratio * committed_scale
+            fresh = report["scale_bench"]["runs"][scale_gate_leg][
+                "events_per_s"]
+            if fresh < floor:
+                print(f"SCALE PERF REGRESSION ({scale_gate_leg}): "
+                      f"{fresh:,.0f} ev/s is below "
+                      f"{args.scale_fail_below_ratio:.0%} of the "
+                      f"committed {committed_scale:,.0f} ev/s",
+                      file=sys.stderr)
+                return 1
+            print(f"[scale gate ok: {scale_gate_leg} {fresh:,.0f} >= "
+                  f"{args.scale_fail_below_ratio:.0%} of "
+                  f"{committed_scale:,.0f} ev/s]")
     if args.max_obs_overhead_factor is not None:
         gated = [("obs", report["obs_bench"]["overhead_factor"])]
         if "sampler_bench" in report:

@@ -16,6 +16,7 @@ from repro.cluster.job import Job
 from repro.cluster.loadinfo import LoadInfoDirectory
 from repro.cluster.memory import PagingModel
 from repro.cluster.network import Network
+from repro.cluster.state import FLAG_RESERVED, ClusterState
 from repro.cluster.workstation import Workstation
 from repro.faults.injector import FaultInjector
 from repro.obs.bus import EventBus
@@ -43,10 +44,19 @@ class Cluster:
             fault_service_s=self.config.fault_service_s,
             curve_exponent=self.config.fault_curve_exponent,
         )
+        #: Columnar (struct-of-arrays) hot state shared by all nodes;
+        #: None on the per-object fallback path (``columnar=False``).
+        #: Batch consumers (metrics collector, obs sampler, load
+        #: directory, the cluster-wide queries below) read these
+        #: columns instead of walking node objects.
+        self.state: Optional[ClusterState] = (
+            ClusterState(self.config.num_nodes)
+            if self.config.columnar else None)
         self.nodes: List[Workstation] = [
             Workstation(self.sim, node_id, self.config.spec_for(node_id),
                         self.config, self.paging,
-                        on_job_finished=self._job_finished)
+                        on_job_finished=self._job_finished,
+                        state=self.state)
             for node_id in range(self.config.num_nodes)
         ]
         self.network = Network(
@@ -65,6 +75,7 @@ class Cluster:
             exchange_interval_s=self.config.load_exchange_interval_s,
             incremental=self.config.indexed_selection,
             obs=self.obs.channel("loadinfo.exchange"),
+            state=self.state,
         )
         #: Ids of nodes whose cached fault rate / starvation currently
         #: crosses the thrashing threshold, maintained from workstation
@@ -119,7 +130,19 @@ class Cluster:
         return len(self.nodes)
 
     def total_idle_memory_mb(self, exclude_reserved: bool = False) -> float:
-        """Accumulated idle memory space in the cluster (paper §2.1/2.2)."""
+        """Accumulated idle memory space in the cluster (paper §2.1/2.2).
+
+        The columnar path sums the idle column in the same node order
+        the object walk uses, so the float result is bit-identical.
+        """
+        state = self.state
+        if state is not None:
+            if not exclude_reserved:
+                return sum(state.idle_memory_mb)
+            idle = state.idle_memory_mb
+            flags = state.flags
+            return sum(idle[i] for i in range(state.num_nodes)
+                       if not flags[i] & FLAG_RESERVED)
         return sum(node.idle_memory_mb for node in self.nodes
                    if not (exclude_reserved and node.reserved))
 
@@ -136,6 +159,10 @@ class Cluster:
         return jobs
 
     def reserved_nodes(self) -> List[Workstation]:
+        state = self.state
+        if state is not None:
+            nodes = self.nodes
+            return [nodes[node_id] for node_id in state.reserved_ids()]
         return [node for node in self.nodes if node.reserved]
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

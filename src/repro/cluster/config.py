@@ -139,6 +139,15 @@ class ClusterConfig:
     #: identical (pinned by tests) but O(N log N) per decision; kept
     #: for the equivalence suite and the scale benchmark.
     indexed_selection: bool = True
+    #: Keep the cluster's hot per-node state additionally in the
+    #: columnar :class:`~repro.cluster.state.ClusterState` layer
+    #: (struct-of-arrays), which batch consumers — metrics collector,
+    #: obs sampler, load directory, cluster-wide queries — read
+    #: instead of walking ``Workstation`` objects.  ``False`` builds
+    #: no state object and every consumer falls back to the
+    #: per-object path; both paths are pinned byte-identical by the
+    #: columnar-equivalence tests.
+    columnar: bool = True
 
     # --- fault injection -----------------------------------------------
     #: Failure model of the run (see :mod:`repro.faults`); ``None``

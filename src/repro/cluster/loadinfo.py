@@ -43,6 +43,7 @@ from bisect import bisect_left, insort
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple
 
+from repro.cluster.state import FLAG_ACCEPTING, FLAG_ALIVE, ClusterState
 from repro.obs.bus import NULL_CHANNEL, Channel
 from repro.sim.engine import Simulator
 
@@ -116,11 +117,16 @@ class LoadInfoDirectory:
     def __init__(self, sim: Simulator, nodes: List["Workstation"],
                  exchange_interval_s: float = 1.0,
                  incremental: bool = True,
-                 obs: Optional[Channel] = None):
+                 obs: Optional[Channel] = None,
+                 state: Optional[ClusterState] = None):
         if exchange_interval_s < 0:
             raise ValueError("exchange_interval_s must be >= 0")
         self._sim = sim
         self._nodes = nodes
+        #: Columnar cluster state; when present, snapshot collection
+        #: and candidate keys read the published columns (array loads
+        #: over dirty node ids) instead of per-object property calls.
+        self._state = state
         #: ``loadinfo.exchange`` obs channel (disabled by default).
         self.obs = obs if obs is not None else NULL_CHANNEL
         self.exchange_interval_s = exchange_interval_s
@@ -231,6 +237,22 @@ class LoadInfoDirectory:
             self.order_version += 1
 
     def _snapshot_of(self, node: "Workstation") -> NodeSnapshot:
+        state = self._state
+        if state is not None:
+            node_id = node.node_id
+            bits = state.flags[node_id]
+            alive = bool(bits & FLAG_ALIVE)
+            return NodeSnapshot(
+                node_id=node_id,
+                num_jobs=((state.num_running[node_id]
+                           + state.inbound_jobs[node_id]) if alive else 0),
+                idle_memory_mb=state.idle_memory_mb[node_id],
+                total_demand_mb=state.total_demand_mb[node_id],
+                fault_rate_per_s=state.fault_rate_per_s[node_id],
+                accepting=bool(bits & FLAG_ACCEPTING),
+                timestamp=self._sim.now,
+                alive=alive,
+            )
         alive = node.alive
         return NodeSnapshot(
             node_id=node.node_id,
@@ -255,9 +277,19 @@ class LoadInfoDirectory:
                          if snap.accepting else None)
         return accepting_key, (snap.num_jobs, snap.node_id)
 
-    @staticmethod
-    def _live_keys(node: "Workstation"
+    def _live_keys(self, node: "Workstation"
                    ) -> Tuple[Optional[tuple], Optional[tuple]]:
+        state = self._state
+        if state is not None:
+            node_id = node.node_id
+            bits = state.flags[node_id]
+            if not bits & FLAG_ALIVE:
+                return None, None
+            num_jobs = (state.num_running[node_id]
+                        + state.inbound_jobs[node_id])
+            accepting_key = ((-state.idle_memory_mb[node_id], num_jobs,
+                              node_id) if bits & FLAG_ACCEPTING else None)
+            return accepting_key, (num_jobs, node_id)
         if not node.alive:
             return None, None
         num_jobs = node.committed_jobs

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 from collections import OrderedDict
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 
 @dataclass(frozen=True)
@@ -67,6 +67,10 @@ class PagingModel:
         #: water-filling entirely.  Bounded LRU; see ``assess``.
         self._assess_cache: "OrderedDict[Tuple[Tuple[float, ...], float], PagingAssessment]" = OrderedDict()
         self._assess_cache_max = 4096
+        #: Idle-node fast path: every recompute of an empty node asks
+        #: for the (no demands, U) assessment, so those skip the LRU
+        #: bookkeeping entirely — one dict probe keyed on memory size.
+        self._empty_assessments: Dict[float, PagingAssessment] = {}
         self.assess_hits = 0
         self.assess_misses = 0
         #: Thrashing-cliff exponent: the fault rate goes as
@@ -125,6 +129,15 @@ class PagingModel:
         :class:`PagingAssessment` object: callers must treat the
         assessment (including its lists) as immutable.
         """
+        if not demands:
+            cached = self._empty_assessments.get(user_memory_mb)
+            if cached is not None:
+                self.assess_hits += 1
+                return cached
+            self.assess_misses += 1
+            assessment = self._assess_uncached((), user_memory_mb)
+            self._empty_assessments[user_memory_mb] = assessment
+            return assessment
         key = (tuple(demands), user_memory_mb)
         cache = self._assess_cache
         cached = cache.get(key)

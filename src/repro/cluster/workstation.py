@@ -20,6 +20,14 @@ from repro.cluster.config import ClusterConfig, WorkstationSpec
 from repro.cluster.cpu import progress_rates
 from repro.cluster.job import Job, JobState
 from repro.cluster.memory import PagingAssessment, PagingModel
+from repro.cluster.state import (
+    FLAG_ACCEPTING,
+    FLAG_ALIVE,
+    FLAG_RESERVED,
+    FLAG_STARVING,
+    FLAG_THRASHING,
+    ClusterState,
+)
 from repro.obs.bus import NULL_CHANNEL
 from repro.sim.engine import EventHandle, Simulator
 
@@ -27,11 +35,19 @@ _EPS = 1e-9
 
 
 class Workstation:
-    """One node of the simulated cluster."""
+    """One node of the simulated cluster.
+
+    With a columnar :class:`~repro.cluster.state.ClusterState`
+    attached the workstation is a thin façade over its row: the object
+    API below is unchanged, but every externally visible state change
+    also writes through to the state columns (:meth:`_sync_row`) so
+    batch consumers never have to walk node objects.
+    """
 
     def __init__(self, sim: Simulator, node_id: int, spec: WorkstationSpec,
                  config: ClusterConfig, paging: PagingModel,
-                 on_job_finished: Optional[Callable[[Job, "Workstation"], None]] = None):
+                 on_job_finished: Optional[Callable[[Job, "Workstation"], None]] = None,
+                 state: Optional[ClusterState] = None):
         self._sim = sim
         self.node_id = node_id
         self.spec = spec
@@ -39,6 +55,9 @@ class Workstation:
         self._paging = paging
         self.on_job_finished = on_job_finished
         self.user_memory_mb = config.user_memory_mb(spec)
+        #: Columnar cluster state this node writes through to
+        #: (None on the per-object fallback path).
+        self._state = state
 
         #: Observers notified after every externally visible state
         #: change (recompute, reservation flag, in-flight arrivals).
@@ -75,9 +94,22 @@ class Workstation:
         self._fault_rate_cache = 0.0
         self._starving_cache = False
 
+        #: Inputs of the last full ``_recompute``: (alive, per-job
+        #: demands, per-job dedicated flags).  Every mutation of the
+        #: running list itself triggers a recompute, so when a later
+        #: recompute sees the same key the job list is the *same
+        #: objects in the same order* and every derived quantity
+        #: (assessment, rates, stalls) is already exact — the fixed
+        #: point is skipped.  None forces the first recompute.
+        self._recompute_key: Optional[tuple] = None
+
         # Diagnostics
         self.busy_cpu_s = 0.0
         self.completed_jobs = 0
+        #: Full recomputes vs. skips taken by the early exit above
+        #: (surfaced as ``obs.workstation_recompute*`` gauges).
+        self.recomputes = 0
+        self.recompute_skips = 0
 
         #: ``memory.fault`` obs channel (thrashing transitions); the
         #: owning cluster points this at its bus.
@@ -86,6 +118,9 @@ class Workstation:
         #: node, with accounting snapshots); wired by the cluster.
         self.obs_job = NULL_CHANNEL
         self._was_thrashing = False
+        if state is not None:
+            state.user_memory_mb[node_id] = self.user_memory_mb
+            self._sync_row()
 
     def _emit_job(self, kind: str, job: Job, **extra) -> None:
         """Emit a ``cluster.job`` event carrying the job's cumulative
@@ -121,6 +156,8 @@ class Workstation:
     @reserved.setter
     def reserved(self, value: bool) -> None:
         self._reserved = value
+        if self._state is not None:
+            self._sync_row()
         self._notify_changed()
 
     @property
@@ -130,6 +167,8 @@ class Workstation:
     @inbound_jobs.setter
     def inbound_jobs(self, value: int) -> None:
         self._inbound_jobs = value
+        if self._state is not None:
+            self._sync_row()
         self._notify_changed()
 
     # ------------------------------------------------------------------
@@ -323,8 +362,27 @@ class Workstation:
         fault inflates as the disk approaches saturation).  Both depend
         on the progress rates, which depend back on them, so a short
         fixed-point iteration resolves the coupling.
+
+        When the recompute inputs match the previous recompute exactly
+        (same liveness, same job objects — guaranteed by the key, see
+        ``_recompute_key`` — same demands and dedicated flags), only
+        obs-invisible state such as job progress has moved: every
+        cached aggregate and rate is still exact, so the assessment
+        and fixed point are skipped.  The internal event and change
+        notification still run — listeners saw the notification
+        before this early exit existed, and the next completion
+        horizon genuinely moved.
         """
         demands = tuple(job.current_demand_mb for job in self._running)
+        key = (self._alive, demands,
+               tuple(job.dedicated for job in self._running))
+        if key == self._recompute_key:
+            self.recompute_skips += 1
+            self._schedule_next_event()
+            self._notify_changed()
+            return
+        self._recompute_key = key
+        self.recomputes += 1
         self._total_demand_cache = sum(demands)
         self._assessment = self._paging.assess(demands, self.user_memory_mb)
         lambdas = self._assessment.fault_rates_per_cpu_s
@@ -390,8 +448,49 @@ class Workstation:
                          node=self.node_id,
                          fault_rate_per_s=self._fault_rate_cache,
                          jobs=len(self._running))
+        if self._state is not None:
+            self._sync_row()
         self._schedule_next_event()
         self._notify_changed()
+
+    def _sync_row(self) -> None:
+        """Write this node's published state through to its columnar
+        row.
+
+        Runs at every externally visible change point (end of a full
+        ``_recompute`` and the reserved/inbound setters), immediately
+        before listeners are notified, so a batch consumer reading the
+        columns sees exactly what the object properties return at the
+        same instant.  Float columns hold the property values bit-for-
+        bit; the flag bits mirror ``alive``/``reserved``/``thrashing``/
+        ``accepting``/``has_starving_job``.
+        """
+        state = self._state
+        i = self.node_id
+        alive = self._alive
+        idle = (max(0.0, self.user_memory_mb - self._total_demand_cache)
+                if alive else 0.0)
+        state.total_demand_mb[i] = self._total_demand_cache
+        state.idle_memory_mb[i] = idle
+        state.fault_rate_per_s[i] = self._fault_rate_cache
+        state.num_running[i] = len(self._running)
+        state.inbound_jobs[i] = self._inbound_jobs
+        bits = 0
+        if alive:
+            bits = FLAG_ALIVE
+            if (self._fault_rate_cache > self.config.fault_rate_threshold
+                    or self._starving_cache):
+                bits |= FLAG_THRASHING
+            if self._starving_cache:
+                bits |= FLAG_STARVING
+            if (not self._reserved
+                    and (len(self._running) + self._inbound_jobs
+                         < self.config.cpu_threshold)
+                    and idle >= self.config.min_idle_mb):
+                bits |= FLAG_ACCEPTING
+        if self._reserved:
+            bits |= FLAG_RESERVED
+        state.flags[i] = bits
 
     def _allocate_rates(self, speed: float, tax: float, stalls: list,
                         capacity_factor: float) -> list:

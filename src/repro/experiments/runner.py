@@ -136,7 +136,7 @@ def run_trace(trace: Trace, policy_name: str,
     cluster = Cluster(config)
     policy = POLICIES[policy_name](cluster, **(policy_kwargs or {}))
     collector = MetricsCollector(
-        cluster, pending_probe=lambda: len(policy.pending_jobs))
+        cluster, pending_probe=lambda: policy.pending_count)
     if obs is not None:
         obs.attach(cluster)
     with phase("build_jobs"):
@@ -216,6 +216,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--no-index", action="store_true",
                         help="use the unindexed (seed) candidate-"
                              "selection path")
+    parser.add_argument("--no-columnar", action="store_true",
+                        help="disable the columnar (SoA) cluster state "
+                             "layer; batch consumers walk node objects")
     parser.add_argument("--faults", action="store_true",
                         help="enable fault injection with default "
                              "parameters (implied by the fault "
@@ -277,6 +280,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         config = config.replace(num_nodes=args.nodes)
     if args.no_index:
         config = config.replace(indexed_selection=False)
+    if args.no_columnar:
+        config = config.replace(columnar=False)
     faults = build_fault_config(args)
     if faults is not None:
         config = config.replace(faults=faults)

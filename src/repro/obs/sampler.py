@@ -86,13 +86,32 @@ class ClusterSampler:
 
     def sample(self) -> None:
         """Append one snapshot row for every node (also usable
-        directly, without the periodic tick)."""
+        directly, without the periodic tick).
+
+        With the cluster's columnar state attached the row is copied
+        straight from the state columns — bulk ``extend`` calls plus
+        one flag-byte ``translate``, zero per-node attribute reads
+        (pinned by a regression test).  The state's low flag bits
+        match this module's packing by design, and its float columns
+        hold the property values bit-for-bit, so both paths append
+        identical rows.
+        """
+        state = self.cluster.state
         self.times.append(self.cluster.sim.now)
         running = self.series["running"]
         demand = self.series["demand_mb"]
         idle = self.series["idle_mb"]
         faults = self.series["fault_rate_per_s"]
         flags = self.flags
+        if state is not None:
+            # num_running is an int column; extend() with a same-type
+            # array is a memcpy, so only this one needs a conversion.
+            running.extend(map(float, state.num_running))
+            demand.extend(state.total_demand_mb)
+            idle.extend(state.idle_memory_mb)
+            faults.extend(state.fault_rate_per_s)
+            flags.extend(state.sampler_flags())
+            return
         for node in self.cluster.nodes:
             running.append(float(node.num_running))
             demand.append(node.total_demand_mb)

@@ -208,6 +208,10 @@ class ObsSession:
             self.registry.gauge("sim_events_executed").set(sim.event_count)
             self.registry.gauge("heap_compactions").set(sim.compactions)
             self.registry.gauge("recorded_events").set(len(self.events))
+            self.registry.gauge("workstation_recomputes").set(
+                sum(node.recomputes for node in self.cluster.nodes))
+            self.registry.gauge("workstation_recompute_skips").set(
+                sum(node.recompute_skips for node in self.cluster.nodes))
             if self._stream is not None:
                 self.registry.gauge("streamed_events").set(
                     self._streamed_events)

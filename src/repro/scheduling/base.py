@@ -196,6 +196,12 @@ class LoadSharingPolicy:
     def pending_jobs(self) -> List[Job]:
         return list(self._pending)
 
+    @property
+    def pending_count(self) -> int:
+        """Pending-queue length without the list copy ``pending_jobs``
+        makes — probed every collector tick, so O(1) matters."""
+        return len(self._pending)
+
     # ------------------------------------------------------------------
     # monitoring and migration
     # ------------------------------------------------------------------

@@ -35,8 +35,8 @@ class EventHandle:
     daemon events remain.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "cancelled",
-                 "daemon", "_owner")
+    __slots__ = ("time", "priority", "seq", "sort_key", "callback",
+                 "cancelled", "daemon", "_owner")
 
     def __init__(self, time: float, priority: int, seq: int,
                  callback: Callable[[], None], daemon: bool = False,
@@ -44,6 +44,10 @@ class EventHandle:
         self.time = time
         self.priority = priority
         self.seq = seq
+        #: Precomputed heap key: built once at schedule time instead of
+        #: twice per comparison (heap sift paths compare O(log n) times
+        #: per push/pop).
+        self.sort_key = (time, priority, seq)
         self.callback: Optional[Callable[[], None]] = callback
         self.cancelled = False
         self.daemon = daemon
@@ -67,8 +71,7 @@ class EventHandle:
         return not self.cancelled and self.callback is not None
 
     def __lt__(self, other: "EventHandle") -> bool:
-        return (self.time, self.priority, self.seq) < (
-            other.time, other.priority, other.seq)
+        return self.sort_key < other.sort_key
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -221,18 +224,38 @@ class Simulator:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
         executed = 0
+        pop = heapq.heappop
         try:
+            # Inlined peek+step: the heap top is scanned once per
+            # event instead of once in peek() and again in step().
+            # self._heap is re-read each iteration because callbacks
+            # can rebind it (lazy-cancellation compaction).
             while True:
                 if until is None and self._non_daemon_pending <= 0:
                     break
-                next_time = self.peek()
-                if next_time is None:
+                heap = self._heap
+                while heap and not heap[0].pending:
+                    pop(heap)
+                if not heap:
                     break
-                if until is not None and next_time > until:
+                handle = heap[0]
+                if until is not None and handle.time > until:
                     break
                 if max_events is not None and executed >= max_events:
                     break
-                self.step()
+                pop(heap)
+                self._now = handle.time
+                callback, handle.callback = handle.callback, None
+                if handle.daemon:
+                    self._daemon_pending -= 1
+                else:
+                    self._non_daemon_pending -= 1
+                self._event_count += 1
+                obs = self.obs_channel
+                if obs.enabled:
+                    obs.emit(self._now, "fire", priority=handle.priority,
+                             daemon=handle.daemon)
+                callback()
                 executed += 1
         finally:
             self._running = False

@@ -1,0 +1,176 @@
+"""The columnar (SoA) state layer is a pure optimization — pinned here.
+
+``columnar=True`` (the default) keeps every per-node hot quantity in a
+contiguous column of :class:`~repro.cluster.state.ClusterState` and
+lets batch consumers (metrics collector, obs sampler, load directory,
+cluster-wide queries) read columns instead of walking node objects;
+``columnar=False`` is the per-object escape hatch.  For every policy,
+both paths must produce an *identical* :class:`RunSummary` — same
+placements, migrations, timings — in the periodic and live staleness
+regimes, at larger sizes, and across random (seed, nodes, policy)
+triples.  Any divergence means the SoA layer changed scheduling
+decisions, not just their cost.
+"""
+
+import pytest
+from hypothesis import HealthCheck, given, settings, strategies as st
+
+from repro.experiments.runner import default_config, run_experiment
+from repro.obs.sampler import ClusterSampler
+from repro.obs.session import ObsSession
+from repro.workload.programs import WorkloadGroup
+
+#: Every policy the repo ships — all must be columnar-agnostic.
+POLICIES = ["cpu", "memory", "g-loadsharing", "v-reconfiguration",
+            "suspension"]
+
+
+def summary_for(policy, columnar, interval=None, seed=0, nodes=None,
+                scale=0.1):
+    cfg = default_config(WorkloadGroup.SPEC).replace(columnar=columnar)
+    if interval is not None:
+        cfg = cfg.replace(load_exchange_interval_s=interval)
+    result = run_experiment(WorkloadGroup.SPEC, 3, policy=policy,
+                            seed=seed, scale=scale, config=cfg,
+                            nodes=nodes)
+    return result.summary, result.cluster.sim.event_count
+
+
+@pytest.mark.parametrize("policy", POLICIES)
+def test_columnar_matches_legacy_periodic(policy):
+    columnar, columnar_events = summary_for(policy, True)
+    legacy, legacy_events = summary_for(policy, False)
+    assert columnar == legacy
+    assert columnar_events == legacy_events
+
+
+@pytest.mark.parametrize("policy", ["g-loadsharing", "memory", "cpu"])
+def test_columnar_matches_legacy_live(policy):
+    """Live mode (interval 0) repositions per node change instead of
+    per exchange round — still byte-identical."""
+    columnar, columnar_events = summary_for(policy, True, interval=0.0)
+    legacy, legacy_events = summary_for(policy, False, interval=0.0)
+    assert columnar == legacy
+    assert columnar_events == legacy_events
+
+
+def test_larger_cluster_equivalence():
+    """The 256-node scale-bench differential is valid only if both
+    paths agree beyond the default topology too (smaller stand-in
+    keeps the test suite fast)."""
+    columnar, _ = summary_for("memory", True, nodes=96)
+    legacy, _ = summary_for("memory", False, nodes=96)
+    assert columnar == legacy
+
+
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(seed=st.integers(min_value=0, max_value=7),
+       nodes=st.integers(min_value=4, max_value=48),
+       policy=st.sampled_from(POLICIES))
+def test_columnar_matches_legacy_random(seed, nodes, policy):
+    """Differential fuzz: random (seed, nodes, policy) triples run on
+    both paths and must agree on the full summary and event count."""
+    columnar, columnar_events = summary_for(policy, True, seed=seed,
+                                            nodes=nodes, scale=0.05)
+    legacy, legacy_events = summary_for(policy, False, seed=seed,
+                                        nodes=nodes, scale=0.05)
+    assert columnar == legacy
+    assert columnar_events == legacy_events
+
+
+# ----------------------------------------------------------------------
+# obs sampler reads columns, not node objects
+# ----------------------------------------------------------------------
+class _TrapNode:
+    """Stand-in node that fails the test on any attribute access."""
+
+    def __getattr__(self, name):
+        raise AssertionError(
+            f"sampler touched node attribute {name!r}; the columnar "
+            f"sample path must read ClusterState columns only")
+
+
+def test_sampler_columnar_path_reads_no_node_attributes():
+    """With the columnar state attached, ``ClusterSampler.sample``
+    must complete without a single per-node Python attribute access."""
+    result = run_experiment(WorkloadGroup.SPEC, 3, policy="memory",
+                            seed=0, scale=0.1)
+    cluster = result.cluster
+    assert cluster.state is not None
+    sampler = ClusterSampler(cluster, period_s=10.0)
+    cluster.nodes = [_TrapNode() for _ in range(cluster.num_nodes)]
+    sampler.sample()
+    assert sampler.num_samples == 1
+    assert len(sampler.series["running"]) == cluster.num_nodes
+
+
+def test_sampler_rows_identical_across_modes():
+    """Both sample paths append the same rows: the columns hold the
+    node property values bit-for-bit and the flag packing matches."""
+    rows = {}
+    for columnar in (True, False):
+        obs = ObsSession(record_events=False, sample_period=10.0)
+        cfg = default_config(WorkloadGroup.SPEC).replace(
+            columnar=columnar)
+        run_experiment(WorkloadGroup.SPEC, 3, policy="memory", seed=0,
+                       scale=0.1, config=cfg, obs=obs)
+        sampler = obs.sampler
+        rows[columnar] = (list(sampler.times),
+                          {k: list(v) for k, v in sampler.series.items()},
+                          bytes(sampler.flags))
+    assert rows[True] == rows[False]
+
+
+# ----------------------------------------------------------------------
+# recompute-skip accounting agrees across modes
+# ----------------------------------------------------------------------
+def test_recompute_counters_agree_across_modes():
+    """The recompute/skip split is an input-driven property of the
+    run, not of the storage layout: both modes must count the same,
+    and the counters must surface in the obs snapshot."""
+    counters = {}
+    for columnar in (True, False):
+        obs = ObsSession(record_events=False)
+        cfg = default_config(WorkloadGroup.SPEC).replace(
+            columnar=columnar)
+        run_experiment(WorkloadGroup.SPEC, 3, policy="memory", seed=0,
+                       scale=0.1, config=cfg, obs=obs)
+        snapshot = obs.finalize()
+        counters[columnar] = (snapshot["workstation_recomputes"],
+                              snapshot["workstation_recompute_skips"])
+    assert counters[True] == counters[False]
+    assert counters[True][0] > 0
+
+
+@pytest.mark.parametrize("columnar", [True, False])
+def test_recompute_short_circuits_on_identical_inputs(columnar):
+    """A recompute whose inputs (liveness, demand vector, dedicated
+    flags) match the previous one is skipped in both modes; the skip
+    still notifies listeners, so downstream consumers (directory,
+    collector dirty flag) behave exactly as before."""
+    from repro.cluster.cluster import Cluster
+    from repro.cluster.config import ClusterConfig, WorkstationSpec
+    from repro.cluster.job import Job, MemoryProfile
+
+    cfg = ClusterConfig(num_nodes=1, columnar=columnar,
+                        spec=WorkstationSpec(memory_mb=384.0,
+                                             swap_mb=384.0),
+                        kernel_reserved_mb=0.0)
+    cluster = Cluster(cfg)
+    node = cluster.nodes[0]
+    job = Job(program="steady", cpu_work_s=100.0,
+              memory=MemoryProfile.constant(50.0))
+    node.add_job(job)
+    recomputes = node.recomputes
+    notified = []
+    node.add_change_listener(lambda n: notified.append(n.node_id))
+    # Constant demand and no progress boundary crossed: identical key.
+    node._recompute()
+    assert node.recomputes == recomputes
+    assert node.recompute_skips == 1
+    assert notified == [0]
+    # A real change (job removed) recomputes again.
+    node.remove_job(job)
+    assert node.recomputes == recomputes + 1
+    assert node.recompute_skips == 1
