@@ -2,7 +2,7 @@ PYTHON ?= python
 PYTHONPATH := src
 export PYTHONPATH
 
-.PHONY: test bench bench-full perf
+.PHONY: test bench bench-full bench-domains perf
 
 # Tier-1 verification: the full unit/integration test suite.
 test:
@@ -17,6 +17,15 @@ bench:
 # scenario) in quick mode, plus the perf harness smoke.
 bench-full:
 	$(PYTHON) -m pytest benchmarks -q
+
+# Domain-sharding legs (flat vs. domained at 2048 nodes, plus the
+# 10k-node leg); skips the scale/obs/sampler/faults sections and
+# writes to a scratch report so the committed BENCH_perf.json keeps
+# all of its sections.
+bench-domains:
+	$(PYTHON) benchmarks/perf_harness.py --no-scale-bench \
+	    --no-obs-bench --no-sampler-bench --no-faults-bench \
+	    --output BENCH_domains.json
 
 # Perf harness with one worker per core.
 perf:

@@ -1,7 +1,9 @@
 """Perf regression harness: time the quick-mode sweep and write
 ``BENCH_perf.json`` at the repo root.
 
-The harness measures five things on a fixed, seeded workload:
+The harness measures, on a fixed, seeded workload (timed gate legs
+run best-of-:data:`BENCH_REPEATS` so a single noisy-neighbor sample
+cannot trip the CI ratio gates):
 
 * **single-run throughput** — events/sec of one quick-mode run
   (SPEC trace 3 under G-Loadsharing), the canonical hot-path figure;
@@ -17,6 +19,12 @@ The harness measures five things on a fixed, seeded workload:
   that all 256-node summaries are identical before reporting the
   speedups, and a 2048-node columnar run demonstrating
   thousands-of-nodes scale;
+* **domain sharding** — the 2048-node run repeated flat and with the
+  load-info directory split into 16 domains (gated in CI via
+  ``--domain-fail-below-ratio``), plus a 10 000-node 32-domain leg
+  showing the two-level directory at a scale the flat path never
+  reaches; each leg records its average slowdown so the throughput
+  win is visible next to its scheduling-quality cost;
 * **instrumentation overhead** — the single run repeated with a
   metrics-only obs session attached (see :mod:`repro.obs`), verifying
   the summaries are identical modulo the ``obs.*`` keys and reporting
@@ -106,6 +114,22 @@ SCALE_BENCH_POLICY = "memory"
 #: size would dominate harness wall time without adding information).
 SCALE_BENCH_HUGE_NODES = 2048
 
+#: Gated timed legs run this many times and keep the fastest attempt:
+#: on a 1-CPU CI runner a single sample measures the noisy neighbor,
+#: not the code, and the ``--fail-below-ratio`` gates were flaky.
+#: Deliberately-slow baseline legs (unindexed, columnar-off) and the
+#: 10k-node leg run once — they are comparisons, not gates.
+BENCH_REPEATS = 3
+
+#: Domain-bench shape: the 2048-node columnar leg re-run flat and
+#: with 16 domains (the CI-gated leg), plus a 10k-node 32-domain run
+#: demonstrating the two-level directory at a scale the flat path is
+#: never benchmarked at.
+DOMAIN_BENCH_NODES = 2048
+DOMAIN_BENCH_DOMAINS = 16
+DOMAIN_BENCH_HUGE_NODES = 10000
+DOMAIN_BENCH_HUGE_DOMAINS = 32
+
 
 def _cpu_env() -> dict:
     """CPU visibility at this instant, recorded per timed leg.
@@ -129,23 +153,42 @@ def sweep_specs(scale: float = SWEEP_SCALE) -> List[RunSpec]:
             for policy in SWEEP_POLICIES]
 
 
+def _best_of(repeats: int, attempt) -> dict:
+    """Run ``attempt()`` ``repeats`` times, return the fastest (by
+    events/s).  Every attempt snapshots its own env, so an affinity
+    shift mid-leg stays visible in the kept sample."""
+    best = None
+    for _ in range(repeats):
+        measured = attempt()
+        if best is None or measured["events_per_s"] > best["events_per_s"]:
+            best = measured
+    best["repeats"] = repeats
+    return best
+
+
 def measure_single_run(scale: float = SWEEP_SCALE) -> dict:
-    """Events/sec of one quick-mode run (trace generation excluded)."""
+    """Events/sec of one quick-mode run (trace generation excluded),
+    best of :data:`BENCH_REPEATS` attempts."""
     clear_trace_cache()
     warm = run_experiment(WorkloadGroup.SPEC, 3, policy="g-loadsharing",
                           seed=0, scale=scale)  # warm the trace cache
     del warm
-    started = time.perf_counter()
-    result = run_experiment(WorkloadGroup.SPEC, 3, policy="g-loadsharing",
-                            seed=0, scale=scale)
-    wall_s = time.perf_counter() - started
-    events = result.cluster.sim.event_count
-    return {
-        "wall_s": wall_s,
-        "events": events,
-        "events_per_s": events / wall_s if wall_s > 0 else 0.0,
-        "env": _cpu_env(),
-    }
+
+    def attempt() -> dict:
+        started = time.perf_counter()
+        result = run_experiment(WorkloadGroup.SPEC, 3,
+                                policy="g-loadsharing", seed=0,
+                                scale=scale)
+        wall_s = time.perf_counter() - started
+        events = result.cluster.sim.event_count
+        return {
+            "wall_s": wall_s,
+            "events": events,
+            "events_per_s": events / wall_s if wall_s > 0 else 0.0,
+            "env": _cpu_env(),
+        }
+
+    return _best_of(BENCH_REPEATS, attempt)
 
 
 def measure_obs_bench(scale: float = SWEEP_SCALE) -> dict:
@@ -164,25 +207,32 @@ def measure_obs_bench(scale: float = SWEEP_SCALE) -> dict:
     off = measure_single_run(scale)
     plain = run_experiment(WorkloadGroup.SPEC, 3, policy="g-loadsharing",
                            seed=0, scale=scale)
-    obs = ObsSession(record_events=False, run_label="obs-bench")
-    started = time.perf_counter()
-    result = run_experiment(WorkloadGroup.SPEC, 3, policy="g-loadsharing",
-                            seed=0, scale=scale, obs=obs)
-    wall_s = time.perf_counter() - started
-    events = result.cluster.sim.event_count
-    stripped = dataclasses.replace(
-        result.summary,
-        extra={key: value for key, value in result.summary.extra.items()
-               if not key.startswith(EXTRA_PREFIX)})
-    if stripped != plain.summary:
-        raise AssertionError(
-            "instrumented run produced a different summary — "
-            "observability changed scheduling behavior")
-    on = {
-        "wall_s": wall_s,
-        "events": events,
-        "events_per_s": events / wall_s if wall_s > 0 else 0.0,
-    }
+
+    def attempt() -> dict:
+        obs = ObsSession(record_events=False, run_label="obs-bench")
+        started = time.perf_counter()
+        result = run_experiment(WorkloadGroup.SPEC, 3,
+                                policy="g-loadsharing", seed=0,
+                                scale=scale, obs=obs)
+        wall_s = time.perf_counter() - started
+        events = result.cluster.sim.event_count
+        stripped = dataclasses.replace(
+            result.summary,
+            extra={key: value
+                   for key, value in result.summary.extra.items()
+                   if not key.startswith(EXTRA_PREFIX)})
+        if stripped != plain.summary:
+            raise AssertionError(
+                "instrumented run produced a different summary — "
+                "observability changed scheduling behavior")
+        return {
+            "wall_s": wall_s,
+            "events": events,
+            "events_per_s": events / wall_s if wall_s > 0 else 0.0,
+            "env": _cpu_env(),
+        }
+
+    on = _best_of(BENCH_REPEATS, attempt)
     factor = (off["events_per_s"] / on["events_per_s"]
               if on["events_per_s"] > 0 else 0.0)
     return {
@@ -212,32 +262,45 @@ def measure_sampler_bench(scale: float = SWEEP_SCALE) -> dict:
     off = measure_single_run(scale)
     plain = run_experiment(WorkloadGroup.SPEC, 3, policy="g-loadsharing",
                            seed=0, scale=scale)
-    obs = ObsSession(record_events=False, run_label="sampler-bench",
-                     lifecycle=True, sample_period=10.0)
-    started = time.perf_counter()
-    result = run_experiment(WorkloadGroup.SPEC, 3, policy="g-loadsharing",
-                            seed=0, scale=scale, obs=obs)
-    wall_s = time.perf_counter() - started
-    events = result.cluster.sim.event_count
-    stripped = dataclasses.replace(
-        result.summary,
-        extra={key: value for key, value in result.summary.extra.items()
-               if not key.startswith(EXTRA_PREFIX)})
-    if stripped != plain.summary:
-        raise AssertionError(
-            "lifecycle/sampler-instrumented run produced a different "
-            "summary — the sampler perturbed scheduling")
-    residual = result.summary.extra.get("obs.lifecycle_residual_max_s",
-                                        0.0)
-    if abs(residual) > 1e-6:
-        raise AssertionError(
-            f"lifecycle partition residual {residual!r} exceeds 1e-6 — "
-            f"span attribution no longer tiles job wall time")
-    on = {
-        "wall_s": wall_s,
-        "events": events,
-        "events_per_s": events / wall_s if wall_s > 0 else 0.0,
-    }
+    extras = {}
+
+    def attempt() -> dict:
+        obs = ObsSession(record_events=False, run_label="sampler-bench",
+                         lifecycle=True, sample_period=10.0)
+        started = time.perf_counter()
+        result = run_experiment(WorkloadGroup.SPEC, 3,
+                                policy="g-loadsharing", seed=0,
+                                scale=scale, obs=obs)
+        wall_s = time.perf_counter() - started
+        events = result.cluster.sim.event_count
+        stripped = dataclasses.replace(
+            result.summary,
+            extra={key: value
+                   for key, value in result.summary.extra.items()
+                   if not key.startswith(EXTRA_PREFIX)})
+        if stripped != plain.summary:
+            raise AssertionError(
+                "lifecycle/sampler-instrumented run produced a different "
+                "summary — the sampler perturbed scheduling")
+        residual = result.summary.extra.get(
+            "obs.lifecycle_residual_max_s", 0.0)
+        if abs(residual) > 1e-6:
+            raise AssertionError(
+                f"lifecycle partition residual {residual!r} exceeds "
+                f"1e-6 — span attribution no longer tiles job wall time")
+        extras.update(
+            residual=residual,
+            samples=result.summary.extra.get("obs.sampler_samples", 0.0),
+            lifecycle_jobs=result.summary.extra.get(
+                "obs.lifecycle_jobs", 0.0))
+        return {
+            "wall_s": wall_s,
+            "events": events,
+            "events_per_s": events / wall_s if wall_s > 0 else 0.0,
+            "env": _cpu_env(),
+        }
+
+    on = _best_of(BENCH_REPEATS, attempt)
     factor = (off["events_per_s"] / on["events_per_s"]
               if on["events_per_s"] > 0 else 0.0)
     return {
@@ -245,10 +308,9 @@ def measure_sampler_bench(scale: float = SWEEP_SCALE) -> dict:
         "sampler_on": on,
         "overhead_factor": factor,
         "sample_period_s": 10.0,
-        "samples": result.summary.extra.get("obs.sampler_samples", 0.0),
-        "lifecycle_jobs": result.summary.extra.get("obs.lifecycle_jobs",
-                                                   0.0),
-        "partition_residual_max_s": residual,
+        "samples": extras["samples"],
+        "lifecycle_jobs": extras["lifecycle_jobs"],
+        "partition_residual_max_s": extras["residual"],
         "summaries_identical_modulo_obs": True,
     }
 
@@ -283,12 +345,17 @@ def measure_faults_bench(scale: float = SWEEP_SCALE) -> dict:
                              if wall_s > 0 else 0.0),
         }
 
-    first_summary, on = timed()
-    second_summary, _ = timed()
+    first_summary, first_on = timed()
+    second_summary, second_on = timed()
     if first_summary != second_summary:
         raise AssertionError(
             "two faults-enabled runs produced different summaries — "
             "the fault schedule is not deterministic")
+    # The determinism check already pays for two runs; keep the faster
+    # one as the throughput sample (best-of-2).
+    on = (first_on if first_on["events_per_s"]
+          >= second_on["events_per_s"] else second_on)
+    on["repeats"] = 2
     factor = (off["events_per_s"] / on["events_per_s"]
               if on["events_per_s"] > 0 else 0.0)
     return {
@@ -312,27 +379,33 @@ def measure_sweep(jobs: int, scale: float = SWEEP_SCALE) -> dict:
             "summaries": summaries, "env": _cpu_env()}
 
 
-def _timed_run(config, scale: float) -> dict:
-    """One timed memory-policy run of SPEC trace 3 on ``config``.
+def _timed_run(config, scale: float,
+               repeats: int = BENCH_REPEATS) -> dict:
+    """Timed memory-policy run of SPEC trace 3 on ``config``, best of
+    ``repeats`` attempts (pass 1 for deliberately-slow baseline legs).
 
     Trace generation is warmed (cached per topology) before the clock
     starts, so the measurement is simulation time only.
     """
     build_trace(WorkloadGroup.SPEC, 3, seed=0,
                 num_nodes=config.num_nodes)
-    started = time.perf_counter()
-    result = run_experiment(WorkloadGroup.SPEC, 3,
-                            policy=SCALE_BENCH_POLICY, seed=0,
-                            scale=scale, config=config)
-    wall_s = time.perf_counter() - started
-    events = result.cluster.sim.event_count
-    return {
-        "wall_s": wall_s,
-        "events": events,
-        "events_per_s": events / wall_s if wall_s > 0 else 0.0,
-        "env": _cpu_env(),
-        "summary": result.summary,
-    }
+
+    def attempt() -> dict:
+        started = time.perf_counter()
+        result = run_experiment(WorkloadGroup.SPEC, 3,
+                                policy=SCALE_BENCH_POLICY, seed=0,
+                                scale=scale, config=config)
+        wall_s = time.perf_counter() - started
+        events = result.cluster.sim.event_count
+        return {
+            "wall_s": wall_s,
+            "events": events,
+            "events_per_s": events / wall_s if wall_s > 0 else 0.0,
+            "env": _cpu_env(),
+            "summary": result.summary,
+        }
+
+    return _best_of(repeats, attempt)
 
 
 def measure_scale_bench(scale: float = SWEEP_SCALE) -> dict:
@@ -352,10 +425,10 @@ def measure_scale_bench(scale: float = SWEEP_SCALE) -> dict:
     big = SCALE_BENCH_NODES[-1]
     cfg = default_config(WorkloadGroup.SPEC).replace(
         num_nodes=big, indexed_selection=False)
-    runs[f"nodes_{big}_unindexed"] = _timed_run(cfg, scale)
+    runs[f"nodes_{big}_unindexed"] = _timed_run(cfg, scale, repeats=1)
     cfg = default_config(WorkloadGroup.SPEC).replace(
         num_nodes=big, columnar=False)
-    runs[f"nodes_{big}_columnar_off"] = _timed_run(cfg, scale)
+    runs[f"nodes_{big}_columnar_off"] = _timed_run(cfg, scale, repeats=1)
     baseline_summary = runs[f"nodes_{big}_indexed"]["summary"]
     if baseline_summary != runs[f"nodes_{big}_unindexed"]["summary"]:
         raise AssertionError(
@@ -387,6 +460,55 @@ def measure_scale_bench(scale: float = SWEEP_SCALE) -> dict:
     }
 
 
+def measure_domain_bench(scale: float = SWEEP_SCALE) -> dict:
+    """Throughput of the sharded (domained) load-info directory.
+
+    Three legs: the 2048-node cluster flat (one global directory), the
+    same cluster split into 16 domains (the CI-gated leg), and a
+    10 000-node 32-domain run — a size the flat directory is never
+    benchmarked at.  Flat and domained runs schedule against different
+    views by design (two-level placement is an approximation), so no
+    summary-identity assertion here; each leg records its average
+    slowdown instead so a quality collapse is visible next to the
+    throughput win.  The byte-identity contract for ``domains=1`` is
+    pinned separately by ``tests/test_domain_equivalence.py``.
+    """
+    runs = {}
+    slowdowns = {}
+
+    def leg(name: str, nodes: int, domains: int, repeats: int) -> None:
+        cfg = default_config(WorkloadGroup.SPEC).replace(
+            num_nodes=nodes, domains=domains)
+        entry = _timed_run(cfg, scale, repeats=repeats)
+        slowdowns[name] = entry["summary"].average_slowdown
+        runs[name] = entry
+
+    leg(f"nodes_{DOMAIN_BENCH_NODES}_flat",
+        DOMAIN_BENCH_NODES, 1, BENCH_REPEATS)
+    leg(f"nodes_{DOMAIN_BENCH_NODES}_domains_{DOMAIN_BENCH_DOMAINS}",
+        DOMAIN_BENCH_NODES, DOMAIN_BENCH_DOMAINS, BENCH_REPEATS)
+    leg(f"nodes_{DOMAIN_BENCH_HUGE_NODES}_domains_"
+        f"{DOMAIN_BENCH_HUGE_DOMAINS}",
+        DOMAIN_BENCH_HUGE_NODES, DOMAIN_BENCH_HUGE_DOMAINS, 1)
+    for name, entry in runs.items():
+        entry.pop("summary", None)  # not JSON-serializable
+        entry["avg_slowdown"] = slowdowns[name]
+    flat_wall = runs[f"nodes_{DOMAIN_BENCH_NODES}_flat"]["wall_s"]
+    domained_wall = runs[
+        f"nodes_{DOMAIN_BENCH_NODES}_domains_"
+        f"{DOMAIN_BENCH_DOMAINS}"]["wall_s"]
+    return {
+        "policy": SCALE_BENCH_POLICY,
+        "scale": scale,
+        "domains": DOMAIN_BENCH_DOMAINS,
+        "huge_nodes": DOMAIN_BENCH_HUGE_NODES,
+        "huge_domains": DOMAIN_BENCH_HUGE_DOMAINS,
+        "runs": runs,
+        "domain_speedup_at_%d_nodes" % DOMAIN_BENCH_NODES: (
+            flat_wall / domained_wall if domained_wall > 0 else 0.0),
+    }
+
+
 def resolve_jobs(requested: int) -> dict:
     """Resolve ``--jobs`` against the CPU affinity mask.
 
@@ -408,7 +530,8 @@ def run_harness(jobs: int = 0, scale: float = SWEEP_SCALE,
                 scale_bench: bool = True,
                 obs_bench: bool = True,
                 sampler_bench: bool = True,
-                faults_bench: bool = True) -> dict:
+                faults_bench: bool = True,
+                domain_bench: bool = True) -> dict:
     """Measure, check determinism, and (optionally) write the report."""
     resolved = resolve_jobs(jobs)
     single = measure_single_run(scale)
@@ -447,6 +570,8 @@ def run_harness(jobs: int = 0, scale: float = SWEEP_SCALE,
     }
     if scale_bench:
         report["scale_bench"] = measure_scale_bench(scale)
+    if domain_bench:
+        report["domain_bench"] = measure_domain_bench(scale)
     if obs_bench:
         report["obs_bench"] = measure_obs_bench(scale)
     if sampler_bench:
@@ -481,6 +606,17 @@ def committed_scale_events_per_s(path: str,
         return None
 
 
+def committed_domain_events_per_s(path: str,
+                                  leg: str) -> Optional[float]:
+    """Domain-bench events/sec of one leg from an existing report."""
+    try:
+        with open(path) as stream:
+            prior = json.load(stream)
+        return float(prior["domain_bench"]["runs"][leg]["events_per_s"])
+    except (OSError, KeyError, TypeError, ValueError, json.JSONDecodeError):
+        return None
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Time the quick-mode sweep and write BENCH_perf.json.")
@@ -500,6 +636,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="skip the lifecycle/sampler overhead leg")
     parser.add_argument("--no-faults-bench", action="store_true",
                         help="skip the fault-injection overhead leg")
+    parser.add_argument("--no-domain-bench", action="store_true",
+                        help="skip the sharded-directory (domains) leg")
     parser.add_argument("--fail-below-ratio", type=float, default=None,
                         metavar="R",
                         help="exit non-zero if fresh single-run events/s "
@@ -511,6 +649,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "scale-bench events/s is below R times the "
                              "committed report's figure for the same leg "
                              "(CI large-cluster regression gate)")
+    parser.add_argument("--domain-fail-below-ratio", type=float,
+                        default=None, metavar="R",
+                        help="exit non-zero if the fresh 2048-node "
+                             "16-domain bench events/s is below R times "
+                             "the committed report's figure for the same "
+                             "leg (CI sharded-directory regression gate)")
     parser.add_argument("--max-obs-overhead-factor", type=float,
                         default=None, metavar="F",
                         help="exit non-zero if the obs-on run is more "
@@ -523,18 +667,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.scale_fail_below_ratio is not None and args.no_scale_bench:
         parser.error("--scale-fail-below-ratio needs the scale bench; "
                      "drop --no-scale-bench")
+    if args.domain_fail_below_ratio is not None and args.no_domain_bench:
+        parser.error("--domain-fail-below-ratio needs the domain bench; "
+                     "drop --no-domain-bench")
     committed = (committed_events_per_s(args.output)
                  if args.fail_below_ratio is not None else None)
     scale_gate_leg = "nodes_%d_indexed" % SCALE_BENCH_NODES[-1]
     committed_scale = (
         committed_scale_events_per_s(args.output, scale_gate_leg)
         if args.scale_fail_below_ratio is not None else None)
+    domain_gate_leg = ("nodes_%d_domains_%d"
+                       % (DOMAIN_BENCH_NODES, DOMAIN_BENCH_DOMAINS))
+    committed_domain = (
+        committed_domain_events_per_s(args.output, domain_gate_leg)
+        if args.domain_fail_below_ratio is not None else None)
     report = run_harness(jobs=args.jobs, scale=args.scale,
                          output=args.output,
                          scale_bench=not args.no_scale_bench,
                          obs_bench=not args.no_obs_bench,
                          sampler_bench=not args.no_sampler_bench,
-                         faults_bench=not args.no_faults_bench)
+                         faults_bench=not args.no_faults_bench,
+                         domain_bench=not args.no_domain_bench)
     single = report["single_run"]
     print(f"single run : {single['events']} events in "
           f"{single['wall_s']:.2f}s = {single['events_per_s']:,.0f} ev/s")
@@ -556,6 +709,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         col_ratio = bench[f"columnar_speedup_at_{big}_nodes"]
         print(f"index speedup at {big} nodes: {ratio:.1f}x, columnar "
               f"speedup {col_ratio:.1f}x (identical summaries)")
+    if "domain_bench" in report:
+        bench = report["domain_bench"]
+        for name, entry in bench["runs"].items():
+            print(f"{name:22s}: {entry['events']} events in "
+                  f"{entry['wall_s']:.2f}s = "
+                  f"{entry['events_per_s']:,.0f} ev/s "
+                  f"(slowdown {entry['avg_slowdown']:.2f})")
+        ratio = bench[f"domain_speedup_at_{DOMAIN_BENCH_NODES}_nodes"]
+        print(f"domain speedup at {DOMAIN_BENCH_NODES} nodes "
+              f"({DOMAIN_BENCH_DOMAINS} domains): {ratio:.2f}x")
     if "obs_bench" in report:
         bench = report["obs_bench"]
         print(f"obs        : off {bench['obs_off']['events_per_s']:,.0f} "
@@ -614,6 +777,24 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"[scale gate ok: {scale_gate_leg} {fresh:,.0f} >= "
                   f"{args.scale_fail_below_ratio:.0%} of "
                   f"{committed_scale:,.0f} ev/s]")
+    if args.domain_fail_below_ratio is not None:
+        if committed_domain is None:
+            print("[no committed domain-bench figure to gate against; "
+                  "domain gate skipped]")
+        else:
+            floor = args.domain_fail_below_ratio * committed_domain
+            fresh = report["domain_bench"]["runs"][domain_gate_leg][
+                "events_per_s"]
+            if fresh < floor:
+                print(f"DOMAIN PERF REGRESSION ({domain_gate_leg}): "
+                      f"{fresh:,.0f} ev/s is below "
+                      f"{args.domain_fail_below_ratio:.0%} of the "
+                      f"committed {committed_domain:,.0f} ev/s",
+                      file=sys.stderr)
+                return 1
+            print(f"[domain gate ok: {domain_gate_leg} {fresh:,.0f} >= "
+                  f"{args.domain_fail_below_ratio:.0%} of "
+                  f"{committed_domain:,.0f} ev/s]")
     if args.max_obs_overhead_factor is not None:
         gated = [("obs", report["obs_bench"]["overhead_factor"])]
         if "sampler_bench" in report:

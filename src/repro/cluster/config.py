@@ -149,6 +149,23 @@ class ClusterConfig:
     #: columnar-equivalence tests.
     columnar: bool = True
 
+    # --- domain sharding (DESIGN.md §4) --------------------------------
+    #: Number of load-information domains the cluster is partitioned
+    #: into (contiguous node-id slices).  ``1`` (the default) keeps the
+    #: single flat :class:`~repro.cluster.loadinfo.LoadInfoDirectory`
+    #: exactly as before — byte-identical by construction.  ``K > 1``
+    #: builds a :class:`~repro.cluster.domains.DomainDirectory`: one
+    #: directory shard per domain (exchange rounds over N/K nodes) plus
+    #: compact per-domain summaries exchanged on the slower period
+    #: below, so scheduling becomes two-level — pick a domain from
+    #: summaries, then a node from that domain's shard.
+    domains: int = 1
+    #: Inter-domain summary exchange period (s); the explicit staleness
+    #: knob of the domain layer.  Summaries are refreshed this often
+    #: (0 = recomputed fresh on every access), independently of the
+    #: faster intra-domain ``load_exchange_interval_s``.
+    domain_exchange_interval_s: float = 5.0
+
     # --- fault injection -----------------------------------------------
     #: Failure model of the run (see :mod:`repro.faults`); ``None``
     #: (the default) runs fault-free and byte-identical to a build
@@ -172,6 +189,19 @@ class ClusterConfig:
             raise ValueError("residency_alpha must be in (0, 1]")
         if self.memory_threshold_factor < 1:
             raise ValueError("memory_threshold_factor must be >= 1")
+        if self.domains < 1:
+            raise ValueError("domains must be >= 1")
+        if self.domains > self.num_nodes:
+            raise ValueError(
+                f"domains ({self.domains}) cannot exceed num_nodes "
+                f"({self.num_nodes})")
+        if self.domain_exchange_interval_s < 0:
+            raise ValueError("domain_exchange_interval_s must be >= 0")
+        if self.domains > 1 and not self.indexed_selection:
+            raise ValueError(
+                "domains > 1 requires indexed_selection=True: the "
+                "domained directory drives the maintained candidate "
+                "orders; the seed snapshot-sort path is flat-only")
 
     # ------------------------------------------------------------------
     def spec_for(self, node_id: int) -> WorkstationSpec:

@@ -43,7 +43,12 @@ from bisect import bisect_left, insort
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple
 
-from repro.cluster.state import FLAG_ACCEPTING, FLAG_ALIVE, ClusterState
+from repro.cluster.state import (
+    FLAG_ACCEPTING,
+    FLAG_ALIVE,
+    FLAG_THRASHING,
+    ClusterState,
+)
 from repro.obs.bus import NULL_CHANNEL, Channel
 from repro.sim.engine import Simulator
 
@@ -71,6 +76,9 @@ class NodeSnapshot:
     #: Fail-stop liveness (fault injection); dead nodes are excluded
     #: from both candidate orders until re-admitted.
     alive: bool = True
+    #: Published thrashing state, carried in the load report so domain
+    #: summaries can aggregate it without touching live nodes.
+    thrashing: bool = False
 
 
 class _CandidateOrder:
@@ -118,11 +126,16 @@ class LoadInfoDirectory:
                  exchange_interval_s: float = 1.0,
                  incremental: bool = True,
                  obs: Optional[Channel] = None,
-                 state: Optional[ClusterState] = None):
+                 state: Optional[ClusterState] = None,
+                 managed: bool = False):
         if exchange_interval_s < 0:
             raise ValueError("exchange_interval_s must be >= 0")
         self._sim = sim
         self._nodes = nodes
+        #: Id-based lookup: a directory may cover a *subset* of the
+        #: cluster (a domain shard), so node ids are not list indexes.
+        self._node_by_id: Dict[int, "Workstation"] = {
+            node.node_id: node for node in nodes}
         #: Columnar cluster state; when present, snapshot collection
         #: and candidate keys read the published columns (array loads
         #: over dirty node ids) instead of per-object property calls.
@@ -153,11 +166,20 @@ class LoadInfoDirectory:
         self._load_order: Optional[_CandidateOrder] = None
         #: Nodes that changed since their snapshot was last collected.
         self._dirty: Set[int] = set()
+        #: Aggregates over the *published* snapshots of live nodes,
+        #: maintained on every publish so a domain summary costs O(1)
+        #: per shard instead of a per-node walk.
+        self._agg_idle_mb = 0.0
+        self._agg_thrashing = 0
         for node in nodes:
             node.add_change_listener(self._node_changed)
         if exchange_interval_s > 0:
             self.refresh()
-            self._schedule_next()
+            # A managed directory (a domain shard) leaves tick
+            # scheduling to its owning DomainDirectory: one exchange
+            # event per round drives all K shards.
+            if not managed:
+                self._schedule_next()
 
     # ------------------------------------------------------------------
     def _schedule_next(self) -> None:
@@ -179,7 +201,7 @@ class LoadInfoDirectory:
         if not self._snapshots or not self.incremental:
             changed_nodes = self._nodes
         elif self._dirty:
-            changed_nodes = [self._nodes[node_id]
+            changed_nodes = [self._node_by_id[node_id]
                              for node_id in sorted(self._dirty)]
         else:
             return
@@ -204,7 +226,7 @@ class LoadInfoDirectory:
                     delayed += 1
                     continue
             snap = self._snapshot_of(node)
-            self._snapshots[node.node_id] = snap
+            self._publish(snap)
             order_moved |= self._reposition(snap.node_id,
                                             self._snapshot_keys(snap))
         if order_moved:
@@ -230,9 +252,9 @@ class LoadInfoDirectory:
         node that has crashed since collection is discarded (the
         eviction wins).
         """
-        if not self._nodes[snap.node_id].alive:
+        if not self._node_by_id[snap.node_id].alive:
             return
-        self._snapshots[snap.node_id] = snap
+        self._publish(snap)
         if self._reposition(snap.node_id, self._snapshot_keys(snap)):
             self.order_version += 1
 
@@ -252,6 +274,7 @@ class LoadInfoDirectory:
                 accepting=bool(bits & FLAG_ACCEPTING),
                 timestamp=self._sim.now,
                 alive=alive,
+                thrashing=alive and bool(bits & FLAG_THRASHING),
             )
         alive = node.alive
         return NodeSnapshot(
@@ -263,7 +286,19 @@ class LoadInfoDirectory:
             accepting=node.accepting,
             timestamp=self._sim.now,
             alive=alive,
+            thrashing=alive and node.thrashing,
         )
+
+    def _publish(self, snap: NodeSnapshot) -> None:
+        """Store a snapshot, maintaining the live-node aggregates."""
+        old = self._snapshots.get(snap.node_id)
+        if old is not None and old.alive:
+            self._agg_idle_mb -= old.idle_memory_mb
+            self._agg_thrashing -= old.thrashing
+        if snap.alive:
+            self._agg_idle_mb += snap.idle_memory_mb
+            self._agg_thrashing += snap.thrashing
+        self._snapshots[snap.node_id] = snap
 
     # ------------------------------------------------------------------
     # candidate orders
@@ -337,17 +372,16 @@ class LoadInfoDirectory:
         stale reads also see the node as gone.
         """
         if self.exchange_interval_s != 0:
-            self._snapshots[node_id] = self._snapshot_of(
-                self._nodes[node_id])
+            self._publish(self._snapshot_of(self._node_by_id[node_id]))
             self._dirty.discard(node_id)
         if self._reposition(node_id, (None, None)):
             self.order_version += 1
 
     def readmit(self, node_id: int) -> None:
         """Put a recovered node back into the candidate orders."""
-        node = self._nodes[node_id]
+        node = self._node_by_id[node_id]
         if self.exchange_interval_s != 0:
-            self._snapshots[node_id] = self._snapshot_of(node)
+            self._publish(self._snapshot_of(node))
             self._dirty.discard(node_id)
         if self._reposition(node_id, self._keys_of(node)):
             self.order_version += 1
@@ -373,16 +407,44 @@ class LoadInfoDirectory:
         return self._load_order.ids()
 
     def least_num_jobs(self) -> int:
-        """Smallest published job count across all nodes."""
-        self.load_order_ids()
+        """Smallest published job count across all nodes (O(1) once
+        the load order is active: reads its first entry instead of
+        materializing the full ids list)."""
+        if self._load_order is None:
+            self.load_order_ids()  # activate the order lazily
         entries = self._load_order.entries
         return entries[0][0] if entries else 0
+
+    # ------------------------------------------------------------------
+    # published aggregates (domain summaries)
+    # ------------------------------------------------------------------
+    def published_idle_mb(self) -> float:
+        """Total idle memory over the published view of live nodes."""
+        if self.exchange_interval_s == 0:
+            return sum(snap.idle_memory_mb for snap in self.snapshots()
+                       if snap.alive)
+        return self._agg_idle_mb
+
+    def thrashing_count(self) -> int:
+        """Live nodes whose published view shows them thrashing."""
+        if self.exchange_interval_s == 0:
+            return sum(1 for snap in self.snapshots()
+                       if snap.alive and snap.thrashing)
+        return self._agg_thrashing
+
+    def accepting_count(self) -> int:
+        """Nodes currently in the accepting order (O(1) once the
+        order is active: its length is the count — the ids list the
+        public accessor materializes is not needed)."""
+        if self._accepting_order is None:
+            self.accepting_ids()  # activate the order lazily
+        return len(self._accepting_order.entries)
 
     # ------------------------------------------------------------------
     def snapshot(self, node_id: int) -> NodeSnapshot:
         """The current view of ``node_id`` (live when period is 0)."""
         if self.exchange_interval_s == 0:
-            return self._snapshot_of(self._nodes[node_id])
+            return self._snapshot_of(self._node_by_id[node_id])
         return self._snapshots[node_id]
 
     def snapshots(self) -> List[NodeSnapshot]:

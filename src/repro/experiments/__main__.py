@@ -36,13 +36,19 @@ from repro.experiments.scenario import (
     run_blocking_scenario,
 )
 from repro.experiments.tables import render_table1, render_table2
+from repro.experiments.topology import (
+    DEFAULT_DOMAINS,
+    DEFAULT_STALENESS,
+    run_topology_experiment,
+)
 from repro.metrics.export import figure_to_csv
 from repro.metrics.report import percentage_reduction, render_bar_chart
 from repro.obs.session import ObsSession
 from repro.workload.programs import WorkloadGroup
 
 TARGETS = (["table1", "table2"] + sorted(ALL_FIGURES)
-           + ["scenario", "heterogeneity", "ablations", "degradation"])
+           + ["scenario", "heterogeneity", "ablations", "degradation",
+              "topology"])
 
 #: Targets that accept the shared fault-injection flags.
 FAULT_TARGETS = ("scenario", "degradation")
@@ -142,6 +148,25 @@ def main(argv: List[str] = None) -> int:
                              "simulated seconds (feeds the report "
                              "timelines; scenario and degradation "
                              "targets)")
+    parser.add_argument("--domains", default=None, metavar="K1,K2,...",
+                        help="comma-separated domain-count grid for the "
+                             "topology target (default "
+                             f"{','.join(str(k) for k in DEFAULT_DOMAINS)})")
+    parser.add_argument("--domain-exchange-interval", default=None,
+                        metavar="S1,S2,...",
+                        help="comma-separated summary-staleness grid in "
+                             "seconds for the topology target (default "
+                             f"{','.join(f'{s:g}' for s in DEFAULT_STALENESS)})")
+    parser.add_argument("--topology-policy", default=None,
+                        metavar="POLICY",
+                        help="policy swept by the topology target "
+                             "(default v-reconfiguration)")
+    parser.add_argument("--topology-blocking", action="store_true",
+                        help="sweep the constructed blocking scenario "
+                             "instead of a published trace (topology "
+                             "target; the memory-pressured regime where "
+                             "small domains force cross-domain "
+                             "reservations)")
     parser.add_argument("--faults", action="store_true",
                         help="enable fault injection with default "
                              "parameters for the scenario target "
@@ -174,20 +199,42 @@ def main(argv: List[str] = None) -> int:
     figure_targets = [t for t in targets if t in ALL_FIGURES]
     if args.export_csv and len(figure_targets) != 1:
         parser.error("--export-csv needs exactly one figure target")
-    if args.nodes is not None and len(figure_targets) != len(targets):
-        parser.error("--nodes applies to figure targets only")
+    nodes_targets = figure_targets + [t for t in targets
+                                      if t == "topology"]
+    if args.nodes is not None and len(nodes_targets) != len(targets):
+        parser.error("--nodes applies to figure and topology targets "
+                     "only")
+    if (args.domains or args.domain_exchange_interval
+            or args.topology_policy or args.topology_blocking) \
+            and "topology" not in targets:
+        parser.error("--domains/--domain-exchange-interval/"
+                     "--topology-policy/--topology-blocking apply to "
+                     "the topology target; add 'topology' to the "
+                     "targets")
+    try:
+        domains_grid = (tuple(int(v) for v in args.domains.split(","))
+                        if args.domains else DEFAULT_DOMAINS)
+        staleness_grid = (tuple(float(v) for v in
+                                args.domain_exchange_interval.split(","))
+                          if args.domain_exchange_interval
+                          else DEFAULT_STALENESS)
+    except ValueError:
+        parser.error("--domains/--domain-exchange-interval take "
+                     "comma-separated numbers")
     if (args.trace_out or args.log_json or args.obs_metrics) \
             and "scenario" not in targets:
         parser.error("--trace-out/--log-json/--obs-metrics record the "
                      "scenario target; add 'scenario' to the targets")
     report_targets = [t for t in targets if t in ("scenario",
-                                                  "degradation")]
+                                                  "degradation",
+                                                  "topology")]
     if args.report and len(report_targets) != 1:
-        parser.error("--report needs exactly one of the scenario or "
-                     "degradation targets")
+        parser.error("--report needs exactly one of the scenario, "
+                     "degradation, or topology targets")
     if args.sample_period is not None and not report_targets:
-        parser.error("--sample-period applies to the scenario and "
-                     "degradation targets; add one of them")
+        parser.error("--sample-period applies to the scenario, "
+                     "degradation, and topology targets; add one of "
+                     "them")
     faults = build_fault_config(args)
     if faults is not None and not any(t in FAULT_TARGETS for t in targets):
         parser.error("fault flags apply to the scenario and degradation "
@@ -239,6 +286,20 @@ def main(argv: List[str] = None) -> int:
                 seed=args.seed, scale=args.scale, jobs=args.jobs,
                 fault_seed=(faults.fault_seed if faults is not None else 0),
                 mttr_s=(faults.mttr_s if faults is not None else 60.0),
+                lifecycle=bool(args.report),
+                sample_period=args.sample_period)
+            print(report.render())
+            if args.report:
+                report.write_report(args.report)
+                print(f"[wrote HTML comparison report {args.report}]")
+        elif target == "topology":
+            report = run_topology_experiment(
+                seed=args.seed, scale=args.scale, jobs=args.jobs,
+                nodes=args.nodes,
+                policy=(args.topology_policy or "v-reconfiguration"),
+                domains_grid=domains_grid,
+                staleness_grid=staleness_grid,
+                blocking=args.topology_blocking,
                 lifecycle=bool(args.report),
                 sample_period=args.sample_period)
             print(report.render())

@@ -219,6 +219,16 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser.add_argument("--no-columnar", action="store_true",
                         help="disable the columnar (SoA) cluster state "
                              "layer; batch consumers walk node objects")
+    parser.add_argument("--domains", type=int, default=None, metavar="K",
+                        help="partition the cluster into K load-info "
+                             "domains (per-domain directory shards + "
+                             "slower inter-domain summaries; default 1 "
+                             "= flat directory)")
+    parser.add_argument("--domain-exchange-interval", type=float,
+                        default=None, metavar="S",
+                        help="inter-domain summary exchange period in "
+                             "seconds (staleness knob; default 5, "
+                             "0 = always fresh)")
     parser.add_argument("--faults", action="store_true",
                         help="enable fault injection with default "
                              "parameters (implied by the fault "
@@ -282,6 +292,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         config = config.replace(indexed_selection=False)
     if args.no_columnar:
         config = config.replace(columnar=False)
+    if args.domains is not None:
+        config = config.replace(domains=args.domains)
+    if args.domain_exchange_interval is not None:
+        config = config.replace(
+            domain_exchange_interval_s=args.domain_exchange_interval)
     faults = build_fault_config(args)
     if faults is not None:
         config = config.replace(faults=faults)

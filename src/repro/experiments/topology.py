@@ -1,0 +1,218 @@
+"""Topology study: slowdown vs. domain size vs. summary staleness.
+
+The domain layer (:mod:`repro.cluster.domains`) trades scheduling
+quality for locality: candidate selection, blocking detection, and
+reservation all confine themselves to one domain's shard and see the
+rest of the cluster only through compact summaries refreshed on the
+slower ``domain_exchange_interval_s`` period.  This experiment
+quantifies the trade by sweeping a grid of domain counts against a
+grid of summary-staleness periods under one policy and identical
+workloads.
+
+Reported per cell:
+
+* **average slowdown** — the paper's primary per-job metric; the cost
+  of placing against a partitioned, stale view;
+* **migrations** and **cross-domain reservations** — how often the
+  two-level machinery escalates past the domain boundary.
+
+``domains=1`` is the flat-directory baseline: staleness has no effect
+there (there are no summaries), so the baseline is run once and its
+summary reused across every staleness column.
+
+Two workloads: the default sweeps a published trace (underloaded at
+the default 64 nodes — it shows partitioning drift but rarely
+escalates), and ``blocking=True`` sweeps the constructed blocking
+scenario (:mod:`repro.experiments.scenario`), where domains small
+enough to isolate the wedge nodes force *cross-domain* reservations
+and the staleness knob visibly changes blocking counts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cluster.config import ClusterConfig
+from repro.experiments.parallel import RunSpec, run_specs
+from repro.experiments.runner import default_config
+from repro.metrics.report import render_table
+from repro.metrics.summary import RunSummary
+from repro.workload.programs import WorkloadGroup
+
+#: Domain-count grid; 1 is the flat-directory baseline.
+DEFAULT_DOMAINS: Tuple[int, ...] = (1, 2, 4, 8)
+
+#: Summary-staleness grid (s); 0 recomputes summaries on every access.
+DEFAULT_STALENESS: Tuple[float, ...] = (0.0, 5.0, 20.0)
+
+DEFAULT_POLICY = "v-reconfiguration"
+
+
+@dataclass
+class TopologyReport:
+    """One sweep's summaries, indexed by (domains, staleness_s)."""
+
+    group: WorkloadGroup
+    trace_index: int
+    seed: int
+    policy: str
+    nodes: int
+    domains_grid: Tuple[int, ...]
+    staleness_grid: Tuple[float, ...]
+    summaries: Dict[Tuple[int, float], RunSummary]
+    #: ``True`` when the sweep ran the constructed blocking scenario.
+    blocking: bool = False
+
+    def _workload_label(self) -> str:
+        if self.blocking:
+            return "constructed blocking scenario"
+        return f"{self.group.value} trace {self.trace_index}"
+
+    def rows(self) -> List[Dict[str, object]]:
+        rows: List[Dict[str, object]] = []
+        for domains in self.domains_grid:
+            row: Dict[str, object] = {"domains": domains}
+            for staleness in self.staleness_grid:
+                summary = self.summaries[(domains, staleness)]
+                row[f"slowdown s={staleness:g}"] = summary.average_slowdown
+            # Escalation volume at the slowest summaries (worst case).
+            worst = self.summaries[(domains, self.staleness_grid[-1])]
+            row["migrations"] = worst.migrations
+            row["blocking"] = worst.blocking_events
+            row["xdomain reservations"] = worst.extra.get(
+                "cross_domain_reservations", 0)
+            rows.append(row)
+        return rows
+
+    def render(self) -> str:
+        columns = ["domains"]
+        columns += [f"slowdown s={s:g}" for s in self.staleness_grid]
+        columns += ["migrations", "blocking", "xdomain reservations"]
+        title = (f"Slowdown vs. domains vs. staleness — "
+                 f"{self._workload_label()}, "
+                 f"{self.policy}, {self.nodes} nodes, seed {self.seed}")
+        return render_table(self.rows(), columns, title=title)
+
+    def comparison_rows(self) -> List[Dict[str, object]]:
+        """Flatten into :mod:`repro.obs.report` comparison rows — one
+        per (domains, staleness) cell, one series per staleness value,
+        domain count on the x axis."""
+        from repro.obs.report import comparison_row
+
+        rows: List[Dict[str, object]] = []
+        for staleness in self.staleness_grid:
+            series = f"s={staleness:g}"
+            for domains in self.domains_grid:
+                summary = self.summaries[(domains, staleness)]
+                row = comparison_row(f"{series} @ K={domains}", series,
+                                     float(domains), summary)
+                row["cross_domain_reservations"] = summary.extra.get(
+                    "cross_domain_reservations", 0)
+                rows.append(row)
+        return rows
+
+    def write_report(self, target: str) -> str:
+        """Write the comparison HTML report for this sweep."""
+        from repro.obs.report import render_comparison_report, write_report
+
+        title = (f"Topology study — {self._workload_label()}, "
+                 f"{self.policy}")
+        html = render_comparison_report(
+            title, self.comparison_rows(),
+            x_label="load-info domains",
+            subtitle=f"{self.nodes} nodes · seed {self.seed} · summary "
+                     f"staleness grid "
+                     f"{', '.join(f'{s:g}s' for s in self.staleness_grid)}")
+        return write_report(target, html)
+
+
+def run_topology_experiment(
+        group: WorkloadGroup = WorkloadGroup.SPEC,
+        trace_index: int = 3,
+        seed: int = 0,
+        scale: float = 1.0,
+        nodes: Optional[int] = None,
+        policy: str = DEFAULT_POLICY,
+        domains_grid: Sequence[int] = DEFAULT_DOMAINS,
+        staleness_grid: Sequence[float] = DEFAULT_STALENESS,
+        config: Optional[ClusterConfig] = None,
+        jobs: int = 1,
+        blocking: bool = False,
+        lifecycle: bool = False,
+        sample_period: Optional[float] = None) -> TopologyReport:
+    """Sweep slowdown over the domains x staleness grid.
+
+    Each cell is one independent run; ``jobs`` fans them out to worker
+    processes with summaries identical to serial.  The ``domains=1``
+    baseline has no summaries, so it runs once and fills every
+    staleness column.  ``blocking=True`` swaps the published trace for
+    the constructed blocking scenario (cells run serially there — the
+    scenario is a fast 32-node batch); ``nodes`` defaults to 64 for
+    the trace sweep and the scenario's 32 otherwise.
+    """
+    if nodes is None:
+        nodes = 32 if blocking else 64
+    if blocking:
+        return _run_blocking_sweep(seed, nodes, policy, domains_grid,
+                                   staleness_grid, config)
+    base = config if config is not None else default_config(group)
+    base = base.replace(num_nodes=nodes)
+    specs: List[RunSpec] = []
+    cells: List[Tuple[int, float]] = []
+    for domains in domains_grid:
+        for staleness in staleness_grid:
+            if domains == 1 and staleness != staleness_grid[0]:
+                continue  # flat baseline: staleness-independent
+            cfg = base.replace(domains=domains,
+                               domain_exchange_interval_s=staleness)
+            specs.append(RunSpec(
+                group=group, trace_index=trace_index, policy=policy,
+                seed=seed, scale=scale, config=cfg,
+                label=f"K={domains} s={staleness:g} {policy}",
+                lifecycle=lifecycle, sample_period=sample_period))
+            cells.append((domains, staleness))
+    summaries = dict(zip(cells, run_specs(specs, jobs=jobs)))
+    if 1 in domains_grid:
+        baseline = summaries[(1, staleness_grid[0])]
+        for staleness in staleness_grid:
+            summaries[(1, staleness)] = baseline
+    return TopologyReport(
+        group=group, trace_index=trace_index, seed=seed, policy=policy,
+        nodes=nodes, domains_grid=tuple(domains_grid),
+        staleness_grid=tuple(staleness_grid), summaries=summaries)
+
+
+def _run_blocking_sweep(seed: int, nodes: int, policy: str,
+                        domains_grid: Sequence[int],
+                        staleness_grid: Sequence[float],
+                        config: Optional[ClusterConfig]
+                        ) -> TopologyReport:
+    """The domains x staleness grid over the constructed blocking
+    scenario — the memory-pressured regime where small domains force
+    cross-domain reservations."""
+    from repro.experiments.scenario import (
+        SCENARIO_CLUSTER,
+        run_blocking_scenario,
+    )
+
+    base = config if config is not None else SCENARIO_CLUSTER.replace()
+    base = base.replace(num_nodes=nodes)
+    summaries: Dict[Tuple[int, float], RunSummary] = {}
+    for domains in domains_grid:
+        for staleness in staleness_grid:
+            if domains == 1 and staleness != staleness_grid[0]:
+                continue  # flat baseline: staleness-independent
+            cfg = base.replace(domains=domains,
+                               domain_exchange_interval_s=staleness)
+            result = run_blocking_scenario(policy, seed=seed, config=cfg)
+            summaries[(domains, staleness)] = result.summary
+    if 1 in domains_grid:
+        baseline = summaries[(1, staleness_grid[0])]
+        for staleness in staleness_grid:
+            summaries[(1, staleness)] = baseline
+    return TopologyReport(
+        group=WorkloadGroup.SPEC, trace_index=0, seed=seed,
+        policy=policy, nodes=nodes, domains_grid=tuple(domains_grid),
+        staleness_grid=tuple(staleness_grid), summaries=summaries,
+        blocking=True)

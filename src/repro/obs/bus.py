@@ -36,6 +36,7 @@ CHANNELS: Tuple[str, ...] = (
     "reconfig.blocking",      # blocking detections + activation skips
     "reconfig.reservation",   # reservation lifecycle + backoff cancels
     "loadinfo.exchange",      # load-directory exchange rounds
+    "loadinfo.domain",        # inter-domain summary exchange rounds
     "memory.fault",           # per-node thrashing transitions
     "fault.injection",        # injected crashes/recoveries/losses
 )

@@ -66,6 +66,13 @@ class ClusterSampler:
             name: array("d") for name in SAMPLE_FIELDS}
         self.flags = bytearray()
         self._started = False
+        #: Load-information domains (1 = no domain views).  Domain
+        #: series are *views* computed on demand from the stored
+        #: per-node columns; ``sample()`` itself is domain-blind.
+        self.domains = getattr(cluster.config, "domains", 1)
+        self._domain_bounds = (
+            [cluster.directory.domain_bounds(d) for d in range(self.domains)]
+            if self.domains > 1 else [(0, self.num_nodes)])
 
     # ------------------------------------------------------------------
     def start(self) -> "ClusterSampler":
@@ -152,6 +159,22 @@ class ClusterSampler:
         return [sum(1 for b in self.flags[i * n:(i + 1) * n] if b & bit)
                 for i in range(self.num_samples)]
 
+    def domain_totals(self, metric: str, domain: int) -> List[float]:
+        """One domain's per-tick sum of ``metric`` (node-slice view
+        over the stored series)."""
+        lo, hi = self._domain_bounds[domain]
+        data = self.series[metric]
+        n = self.num_nodes
+        return [sum(data[i * n + lo:i * n + hi])
+                for i in range(self.num_samples)]
+
+    def domain_flag_counts(self, bit: int, domain: int) -> List[int]:
+        """Nodes in ``domain`` with ``bit`` set, per tick."""
+        lo, hi = self._domain_bounds[domain]
+        n = self.num_nodes
+        return [sum(1 for b in self.flags[i * n + lo:i * n + hi] if b & bit)
+                for i in range(self.num_samples)]
+
     # ------------------------------------------------------------------
     # exports
     # ------------------------------------------------------------------
@@ -180,6 +203,18 @@ class ClusterSampler:
         out["sampler_mean_reserved_nodes"] = sum(reserved) / ticks
         out["sampler_peak_reserved_nodes"] = float(max(reserved))
         out["sampler_mean_dead_nodes"] = sum(dead) / ticks
+        if self.domains > 1:
+            # Imbalance across domains: per-tick spread (max - min) of
+            # the domain idle-memory totals.  A large spread means the
+            # two-level placement is leaving whole domains idle while
+            # others page — the topology study's balance signal.
+            per_domain = [self.domain_totals("idle_mb", d)
+                          for d in range(self.domains)]
+            spreads = [max(vals) - min(vals)
+                       for vals in zip(*per_domain)]
+            out["sampler_domains"] = float(self.domains)
+            out["sampler_mean_domain_idle_spread_mb"] = sum(spreads) / ticks
+            out["sampler_peak_domain_idle_spread_mb"] = max(spreads)
         return out
 
     def write_csv(self, stream: IO[str]) -> int:
@@ -190,6 +225,11 @@ class ClusterSampler:
         header = ["t", "total_running", "total_demand_mb",
                   "total_idle_mb", "thrashing_nodes", "reserved_nodes",
                   "alive_nodes"]
+        if self.domains > 1:
+            for d in range(self.domains):
+                header.append(f"idle_mb_d{d}")
+                header.append(f"running_d{d}")
+                header.append(f"thrashing_d{d}")
         for node_id in range(n):
             for metric in SAMPLE_FIELDS:
                 header.append(f"{metric}_n{node_id}")
@@ -208,6 +248,12 @@ class ClusterSampler:
                            if b & FLAG_RESERVED)),
                    str(sum(1 for b in self.flags[lo:hi]
                            if b & FLAG_ALIVE))]
+            if self.domains > 1:
+                for dlo, dhi in self._domain_bounds:
+                    row.append(f"{sum(self.series['idle_mb'][lo + dlo:lo + dhi]):g}")
+                    row.append(f"{sum(self.series['running'][lo + dlo:lo + dhi]):g}")
+                    row.append(str(sum(1 for b in self.flags[lo + dlo:lo + dhi]
+                                       if b & FLAG_THRASHING)))
             for node_id in range(n):
                 for column in columns:
                     row.append(f"{column[lo + node_id]:g}")
@@ -218,7 +264,7 @@ class ClusterSampler:
     def to_jsonable(self) -> dict:
         """Compact dict for embedding in reports: times + cluster
         totals + per-node idle series (the report's timeline inputs)."""
-        return {
+        out = {
             "period_s": self.period_s,
             "num_nodes": self.num_nodes,
             "times": list(self.times),
@@ -228,3 +274,8 @@ class ClusterSampler:
             "reserved_nodes": self.flag_counts(FLAG_RESERVED),
             "alive_nodes": self.flag_counts(FLAG_ALIVE),
         }
+        if self.domains > 1:
+            out["domains"] = self.domains
+            out["domain_idle_mb"] = [self.domain_totals("idle_mb", d)
+                                     for d in range(self.domains)]
+        return out

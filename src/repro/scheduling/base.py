@@ -72,6 +72,10 @@ class LoadSharingPolicy:
         #: index (default) or the seed snapshot-sort (equivalence and
         #: scale-benchmark fallback).
         self._indexed = cluster.config.indexed_selection
+        #: Load-information domains (1 = flat directory).  K > 1
+        #: switches candidate selection to the two-level path: local
+        #: domain first, remote domains ranked from summaries.
+        self._num_domains = cluster.config.domains
         #: Cached candidate view keyed on (directory order version,
         #: exclude): one drain round over the pending queue — and any
         #: burst of selections between directory updates — reuses a
@@ -447,7 +451,16 @@ class LoadSharingPolicy:
             snaps.sort(key=lambda s: (-s.idle_memory_mb, s.num_jobs,
                                       s.node_id))
             return [self._live_node(s.node_id) for s in snaps]
-        ordered = directory.accepting_ids()
+        if self._num_domains > 1:
+            # Two-level selection: the submitting node's domain first,
+            # then remote domains as ranked (and possibly skipped) by
+            # the stale summaries.  The cache key below stays valid:
+            # the local domain is a function of ``exclude``.
+            local = (directory.domain_of(exclude)
+                     if exclude is not None else None)
+            ordered = directory.accepting_ids(local_domain=local)
+        else:
+            ordered = directory.accepting_ids()
         key = (directory.order_version, exclude)
         if key != self._candidates_key:
             nodes = self.cluster.nodes

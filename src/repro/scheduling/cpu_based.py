@@ -24,6 +24,8 @@ class CpuBasedPolicy(LoadSharingPolicy):
     def select_node(self, job: Job) -> Optional[Workstation]:
         home = self._live_node(job.home_node)
         directory = self.cluster.directory
+        if self._num_domains > 1:
+            return self._select_domained(home, directory)
         if self._indexed:
             ordered = directory.load_order_ids()
             # prefer the home node among equally loaded candidates
@@ -44,6 +46,22 @@ class CpuBasedPolicy(LoadSharingPolicy):
                 return home
         for snap in snaps:
             node = self._live_node(snap.node_id)
+            if node.alive and node.has_free_slot and not node.reserved:
+                return node
+        return None
+
+    def _select_domained(self, home: Workstation,
+                         directory) -> Optional[Workstation]:
+        """Two-level least-loaded placement (domains > 1): home-node
+        preference judged against the *home domain's* least count,
+        then the home domain's load order, then remote domains ranked
+        by summary least-loaded key."""
+        home_domain = directory.domain_of(home.node_id)
+        if home.alive and home.has_free_slot and not home.reserved:
+            if home.num_running <= directory.least_num_jobs(home_domain):
+                return home
+        for node_id in directory.load_order_ids(local_domain=home_domain):
+            node = self._live_node(node_id)
             if node.alive and node.has_free_slot and not node.reserved:
                 return node
         return None

@@ -138,3 +138,69 @@ class TestConfigReplace:
         assert changed.cpu_threshold == 9
         assert config.cpu_threshold == 4  # original untouched
         assert changed.num_nodes == config.num_nodes
+
+
+class TestLiveModeDirectory:
+    """Live mode (``load_exchange_interval_s == 0``): the directory
+    repositions per node change and computes snapshots on demand —
+    evict/readmit and delayed updates behave differently there."""
+
+    def test_live_node_change_repositions_immediately(self):
+        cluster = Cluster(small_config(load_exchange_interval_s=0.0))
+        directory = cluster.directory
+        assert directory.accepting_ids()[0] == 0
+        version = directory.order_version
+        cluster.nodes[0].add_job(make_job(demand=60.0))
+        cluster.notify_node_changed(cluster.nodes[0])
+        # Node 0 published less idle memory: it sinks in the order.
+        assert directory.accepting_ids()[-1] == 0
+        assert directory.order_version > version
+
+    def test_live_evict_and_readmit(self):
+        cluster = Cluster(small_config(load_exchange_interval_s=0.0))
+        directory = cluster.directory
+        directory.accepting_ids()  # activate the maintained orders
+        cluster.nodes[2].crash()
+        directory.evict(2)
+        assert 2 not in directory.accepting_ids()
+        assert 2 not in directory.load_order_ids()
+        assert not directory.snapshot(2).alive
+        cluster.nodes[2].recover()
+        directory.readmit(2)
+        assert 2 in directory.accepting_ids()
+        assert 2 in directory.load_order_ids()
+        assert directory.snapshot(2).alive
+
+    def test_delayed_update_discarded_after_evict(self):
+        """A load report delayed in flight must not resurrect a node
+        that crashed (and was evicted) before it landed."""
+        cluster = Cluster(small_config(load_exchange_interval_s=1.0))
+        directory = cluster.directory
+        directory.accepting_ids()
+        directory.fault_hook = (
+            lambda node_id: ("delay", 5.0) if node_id == 1 else (None, 0.0))
+        cluster.nodes[1].add_job(make_job(work=500.0))
+        cluster.sim.run(until=1.5)  # exchange collects node 1, delays it
+        cluster.nodes[1].crash()
+        directory.evict(1)
+        assert 1 not in directory.accepting_ids()
+        cluster.sim.run(until=8.0)  # the delayed snapshot lands — dead node
+        assert 1 not in directory.accepting_ids()
+        assert 1 not in directory.load_order_ids()
+        assert not directory.snapshot(1).alive
+
+    def test_delayed_update_lands_on_live_node(self):
+        """The same delayed report *does* land (out of order) when the
+        node stayed alive — re-delivered stale state is the modeled
+        behavior, not an error."""
+        cluster = Cluster(small_config(load_exchange_interval_s=1.0))
+        directory = cluster.directory
+        directory.fault_hook = (
+            lambda node_id: ("delay", 5.0) if node_id == 1 else (None, 0.0))
+        cluster.nodes[1].add_job(make_job(work=500.0, demand=60.0))
+        cluster.sim.run(until=1.5)
+        # Not landed yet: the directory still shows the t=0 view.
+        assert directory.snapshot(1).num_jobs == 0
+        cluster.sim.run(until=8.0)
+        assert directory.snapshot(1).num_jobs == 1
+        assert directory.snapshot(1).idle_memory_mb == pytest.approx(40.0)

@@ -1,0 +1,84 @@
+"""Tests for the topology study (slowdown vs. domains vs. staleness).
+
+Small grids only — the full sweeps are exercised by the CLI and CI's
+report step; here we pin the report structure, the flat-baseline
+backfill, and the blocking-mode dispatch.
+"""
+
+from repro.experiments.topology import (
+    TopologyReport,
+    run_topology_experiment,
+)
+from repro.workload.programs import WorkloadGroup
+
+DOMAINS = (1, 2)
+STALENESS = (0.0, 5.0)
+
+
+def trace_report(**kwargs) -> TopologyReport:
+    defaults = dict(group=WorkloadGroup.SPEC, trace_index=3, seed=0,
+                    scale=0.05, nodes=16, domains_grid=DOMAINS,
+                    staleness_grid=STALENESS)
+    defaults.update(kwargs)
+    return run_topology_experiment(**defaults)
+
+
+class TestTraceSweep:
+    def test_grid_is_fully_populated(self):
+        report = trace_report()
+        assert not report.blocking
+        assert report.nodes == 16
+        assert set(report.summaries) == {
+            (d, s) for d in DOMAINS for s in STALENESS}
+
+    def test_flat_baseline_backfilled_across_staleness(self):
+        """domains=1 has no summaries, so one run fills every
+        staleness column with the identical summary object."""
+        report = trace_report()
+        assert report.summaries[(1, 0.0)] is report.summaries[(1, 5.0)]
+
+    def test_rows_and_render(self):
+        report = trace_report()
+        rows = report.rows()
+        assert [row["domains"] for row in rows] == list(DOMAINS)
+        for row in rows:
+            assert "slowdown s=0" in row
+            assert "slowdown s=5" in row
+            assert "migrations" in row
+            assert "blocking" in row
+            assert "xdomain reservations" in row
+        rendered = report.render()
+        assert "spec trace 3" in rendered
+        assert "16 nodes" in rendered
+
+    def test_comparison_rows_flatten_full_grid(self):
+        report = trace_report()
+        rows = report.comparison_rows()
+        assert len(rows) == len(DOMAINS) * len(STALENESS)
+        assert all("cross_domain_reservations" in row for row in rows)
+
+    def test_write_report(self, tmp_path):
+        report = trace_report()
+        target = report.write_report(str(tmp_path / "topology.html"))
+        html = open(target).read()
+        assert "Topology study" in html
+        assert "spec trace 3" in html
+
+
+class TestBlockingSweep:
+    def test_blocking_mode_dispatches_to_scenario(self):
+        report = run_topology_experiment(
+            seed=0, domains_grid=DOMAINS, staleness_grid=(0.0,),
+            blocking=True)
+        assert report.blocking
+        assert report.nodes == 32  # the scenario's default topology
+        assert set(report.summaries) == {(1, 0.0), (2, 0.0)}
+        assert "constructed blocking scenario" in report.render()
+        # The scenario wedges jobs hard enough to block even flat.
+        assert report.summaries[(1, 0.0)].blocking_events > 0
+
+    def test_blocking_baseline_backfilled(self):
+        report = run_topology_experiment(
+            seed=0, domains_grid=(1,), staleness_grid=STALENESS,
+            blocking=True)
+        assert report.summaries[(1, 0.0)] is report.summaries[(1, 5.0)]
