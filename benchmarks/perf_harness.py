@@ -315,6 +315,81 @@ def measure_sampler_bench(scale: float = SWEEP_SCALE) -> dict:
     }
 
 
+def measure_profile_bench(scale: float = SWEEP_SCALE) -> dict:
+    """Engine self-profiling overhead and coverage.
+
+    The single-run measurement repeated with
+    ``ObsSession(profile=True)``: phase timers wrapped around the
+    engine's hot entry points (recompute, placement, reconfiguration,
+    load-info ticks).  Checks that profiling does not change
+    scheduling (summary identical modulo ``obs.*``) and that the
+    exclusive phase times account for at least 90% of the engine wall
+    time — the coverage floor that makes the breakdown trustworthy.
+    Reports the overhead factor, gated in CI alongside ``obs_bench``
+    via ``--max-obs-overhead-factor``.
+    """
+    import dataclasses
+
+    from repro.obs.session import EXTRA_PREFIX, ObsSession
+
+    off = measure_single_run(scale)
+    plain = run_experiment(WorkloadGroup.SPEC, 3, policy="g-loadsharing",
+                           seed=0, scale=scale)
+    extras = {}
+
+    def attempt() -> dict:
+        obs = ObsSession(record_events=False, run_label="profile-bench",
+                         profile=True)
+        started = time.perf_counter()
+        result = run_experiment(WorkloadGroup.SPEC, 3,
+                                policy="g-loadsharing", seed=0,
+                                scale=scale, obs=obs)
+        wall_s = time.perf_counter() - started
+        events = result.cluster.sim.event_count
+        stripped = dataclasses.replace(
+            result.summary,
+            extra={key: value
+                   for key, value in result.summary.extra.items()
+                   if not key.startswith(EXTRA_PREFIX)})
+        if stripped != plain.summary:
+            raise AssertionError(
+                "self-profiled run produced a different summary — "
+                "the phase timers perturbed scheduling")
+        coverage = result.summary.extra.get("obs.profile_coverage", 0.0)
+        if coverage < 0.9:
+            raise AssertionError(
+                f"profile coverage {coverage:.3f} is below 0.9 — the "
+                f"phase timers no longer tile the engine wall time")
+        extras.update(
+            coverage=coverage,
+            engine_wall_s=result.summary.extra.get(
+                "obs.profile_engine_wall_s", 0.0),
+            phases={key[len("obs.profile_"):-len("_wall_s")]:
+                    value for key, value in result.summary.extra.items()
+                    if key.startswith("obs.profile_")
+                    and key.endswith("_wall_s")
+                    and key != "obs.profile_engine_wall_s"})
+        return {
+            "wall_s": wall_s,
+            "events": events,
+            "events_per_s": events / wall_s if wall_s > 0 else 0.0,
+            "env": _cpu_env(),
+        }
+
+    on = _best_of(BENCH_REPEATS, attempt)
+    factor = (off["events_per_s"] / on["events_per_s"]
+              if on["events_per_s"] > 0 else 0.0)
+    return {
+        "profile_off": off,
+        "profile_on": on,
+        "overhead_factor": factor,
+        "coverage": extras["coverage"],
+        "engine_wall_s": extras["engine_wall_s"],
+        "phase_wall_s": extras["phases"],
+        "summaries_identical_modulo_obs": True,
+    }
+
+
 def measure_faults_bench(scale: float = SWEEP_SCALE) -> dict:
     """Fault-injection overhead and determinism.
 
@@ -531,7 +606,8 @@ def run_harness(jobs: int = 0, scale: float = SWEEP_SCALE,
                 obs_bench: bool = True,
                 sampler_bench: bool = True,
                 faults_bench: bool = True,
-                domain_bench: bool = True) -> dict:
+                domain_bench: bool = True,
+                profile_bench: bool = True) -> dict:
     """Measure, check determinism, and (optionally) write the report."""
     resolved = resolve_jobs(jobs)
     single = measure_single_run(scale)
@@ -576,6 +652,8 @@ def run_harness(jobs: int = 0, scale: float = SWEEP_SCALE,
         report["obs_bench"] = measure_obs_bench(scale)
     if sampler_bench:
         report["sampler_bench"] = measure_sampler_bench(scale)
+    if profile_bench:
+        report["profile_bench"] = measure_profile_bench(scale)
     if faults_bench:
         report["faults_bench"] = measure_faults_bench(scale)
     if output:
@@ -634,6 +712,9 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="skip the obs-off/obs-on overhead leg")
     parser.add_argument("--no-sampler-bench", action="store_true",
                         help="skip the lifecycle/sampler overhead leg")
+    parser.add_argument("--no-profile-bench", action="store_true",
+                        help="skip the engine self-profiling overhead "
+                             "leg")
     parser.add_argument("--no-faults-bench", action="store_true",
                         help="skip the fault-injection overhead leg")
     parser.add_argument("--no-domain-bench", action="store_true",
@@ -687,7 +768,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                          obs_bench=not args.no_obs_bench,
                          sampler_bench=not args.no_sampler_bench,
                          faults_bench=not args.no_faults_bench,
-                         domain_bench=not args.no_domain_bench)
+                         domain_bench=not args.no_domain_bench,
+                         profile_bench=not args.no_profile_bench)
     single = report["single_run"]
     print(f"single run : {single['events']} events in "
           f"{single['wall_s']:.2f}s = {single['events_per_s']:,.0f} ev/s")
@@ -734,6 +816,17 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"({bench['samples']:.0f} samples, "
               f"{bench['lifecycle_jobs']:.0f} lifecycles, residual "
               f"{bench['partition_residual_max_s']:.1e}s)")
+    if "profile_bench" in report:
+        bench = report["profile_bench"]
+        top = sorted(bench["phase_wall_s"].items(),
+                     key=lambda item: -item[1])[:3]
+        top_str = ", ".join(f"{phase} {seconds:.2f}s"
+                            for phase, seconds in top)
+        print(f"profile    : off "
+              f"{bench['profile_off']['events_per_s']:,.0f} ev/s, on "
+              f"{bench['profile_on']['events_per_s']:,.0f} ev/s, "
+              f"overhead {bench['overhead_factor']:.2f}x, coverage "
+              f"{bench['coverage']:.1%} ({top_str})")
     if "faults_bench" in report:
         bench = report["faults_bench"]
         print(f"faults     : off "
@@ -800,6 +893,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         if "sampler_bench" in report:
             gated.append(("sampler",
                           report["sampler_bench"]["overhead_factor"]))
+        if "profile_bench" in report:
+            gated.append(("profile",
+                          report["profile_bench"]["overhead_factor"]))
         for leg, factor in gated:
             if factor > args.max_obs_overhead_factor:
                 print(f"OBS OVERHEAD REGRESSION ({leg}): instrumented "

@@ -148,6 +148,30 @@ def main(argv: List[str] = None) -> int:
                              "simulated seconds (feeds the report "
                              "timelines; scenario and degradation "
                              "targets)")
+    parser.add_argument("--serve", type=int, default=None, metavar="PORT",
+                        nargs="?", const=0,
+                        help="serve live telemetry over HTTP while the "
+                             "scenario's V-Reconfiguration run executes "
+                             "(omit or 0 for an ephemeral port; "
+                             "scenario target only)")
+    parser.add_argument("--serve-port-file", metavar="PATH", default=None,
+                        help="write the bound --serve port to PATH")
+    parser.add_argument("--pace", type=float, default=0.0, metavar="X",
+                        help="advance at most X simulated seconds per "
+                             "wall second while serving (0 = unpaced)")
+    parser.add_argument("--window", type=float, default=None, metavar="S",
+                        help="windowed-aggregation width in simulated "
+                             "seconds for the scenario run (default 50 "
+                             "when serving or health rules are active)")
+    parser.add_argument("--health-rule", action="append", default=None,
+                        metavar="RULE",
+                        help="declarative health rule evaluated over "
+                             "the scenario run's windowed metrics; "
+                             "repeatable (scenario target only)")
+    parser.add_argument("--self-profile", action="store_true",
+                        help="time engine phases of the scenario's "
+                             "V-Reconfiguration run and fold "
+                             "obs.profile_* into its summary")
     parser.add_argument("--domains", default=None, metavar="K1,K2,...",
                         help="comma-separated domain-count grid for the "
                              "topology target (default "
@@ -225,6 +249,19 @@ def main(argv: List[str] = None) -> int:
             and "scenario" not in targets:
         parser.error("--trace-out/--log-json/--obs-metrics record the "
                      "scenario target; add 'scenario' to the targets")
+    if (args.serve is not None or args.window is not None
+            or args.health_rule is not None or args.self_profile) \
+            and "scenario" not in targets:
+        parser.error("--serve/--window/--health-rule/--self-profile "
+                     "instrument the scenario target; add 'scenario' "
+                     "to the targets")
+    if args.serve is None:
+        if args.pace:
+            parser.error("--pace requires --serve")
+        if args.serve_port_file:
+            parser.error("--serve-port-file requires --serve")
+    if args.pace < 0:
+        parser.error("--pace must be >= 0")
     report_targets = [t for t in targets if t in ("scenario",
                                                   "degradation",
                                                   "topology")]
@@ -269,18 +306,30 @@ def main(argv: List[str] = None) -> int:
             obs_session = None
             if args.obs or args.trace_out or args.log_json \
                     or args.obs_metrics or args.report \
-                    or args.sample_period is not None:
+                    or args.sample_period is not None \
+                    or args.serve is not None \
+                    or args.window is not None \
+                    or args.health_rule is not None \
+                    or args.self_profile:
                 obs_session = ObsSession(
                     record_events=bool(args.trace_out or args.log_json),
                     run_label="scenario v-reconfiguration",
                     lifecycle=bool(args.report),
-                    sample_period=args.sample_period)
+                    sample_period=args.sample_period,
+                    window_s=args.window,
+                    health_rules=args.health_rule,
+                    serve=args.serve,
+                    serve_port_file=args.serve_port_file,
+                    pace=args.pace,
+                    profile=args.self_profile)
             _run_scenario(obs_session=obs_session,
                           trace_out=args.trace_out,
                           log_json=args.log_json,
                           obs_metrics=args.obs_metrics,
                           faults=faults,
                           report=args.report)
+            if obs_session is not None:
+                obs_session.close()
         elif target == "degradation":
             report = run_degradation_experiment(
                 seed=args.seed, scale=args.scale, jobs=args.jobs,

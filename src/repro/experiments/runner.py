@@ -138,14 +138,20 @@ def run_trace(trace: Trace, policy_name: str,
     collector = MetricsCollector(
         cluster, pending_probe=lambda: policy.pending_count)
     if obs is not None:
-        obs.attach(cluster)
+        obs.attach(cluster, policy=policy)
     with phase("build_jobs"):
         jobs = trace.build_jobs()
     for job in jobs:
         cluster.sim.schedule_at(job.submit_time,
                                 lambda job=job: policy.submit(job))
     with phase("simulate"):
-        cluster.sim.run()
+        if obs is not None:
+            # Routes through the session's live-telemetry wrappers
+            # (profiler span, paced HTTP serving); plain sessions
+            # degenerate to sim.run().
+            obs.run_engine(cluster.sim)
+        else:
+            cluster.sim.run()
     with phase("summarize"):
         summary = summarize_run(policy, jobs, collector, trace.name)
     if cluster.faults is not None:
@@ -277,6 +283,39 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="write the sampled cluster time series "
                              "as wide-row CSV (requires "
                              "--sample-period)")
+    parser.add_argument("--stream-log", metavar="PATH", default=None,
+                        help="stream every observed event to a "
+                             "line-buffered JSONL file as it happens "
+                             "(tail -f friendly; implies --obs)")
+    parser.add_argument("--serve", type=int, default=None, metavar="PORT",
+                        nargs="?", const=0,
+                        help="serve live telemetry over HTTP on PORT "
+                             "(omit or 0 for an ephemeral port): "
+                             "/metrics /healthz /snapshot.json "
+                             "/dashboard; implies --obs")
+    parser.add_argument("--serve-port-file", metavar="PATH", default=None,
+                        help="write the bound --serve port to PATH "
+                             "(ephemeral-port discovery for scripts)")
+    parser.add_argument("--pace", type=float, default=0.0, metavar="X",
+                        help="advance at most X simulated seconds per "
+                             "wall second while serving (0 = unpaced, "
+                             "the default)")
+    parser.add_argument("--window", type=float, default=None, metavar="S",
+                        help="windowed-aggregation width in simulated "
+                             "seconds (default 50 when serving or "
+                             "health rules are active; implies --obs)")
+    parser.add_argument("--health-rule", action="append", default=None,
+                        metavar="RULE",
+                        help="declarative health rule, e.g. "
+                             "'blocking.rate > 0.5 for 3 windows' or "
+                             "'critical: absent(finish.rate) for 5 "
+                             "windows'; repeatable; implies --obs")
+    parser.add_argument("--self-profile", action="store_true",
+                        help="time engine phases (recompute/placement/"
+                             "loadinfo/reconfiguration/obs) and fold "
+                             "obs.profile_* into the summary; adds a "
+                             "self-profile track to --trace-out; "
+                             "implies --obs")
     parser.add_argument("--export-csv", metavar="PATH", default=None,
                         help="write the run summary as CSV")
     parser.add_argument("--export-json", metavar="PATH", default=None,
@@ -303,9 +342,21 @@ def main(argv: Optional[List[str]] = None) -> int:
 
     if args.sampler_csv and args.sample_period is None:
         parser.error("--sampler-csv requires --sample-period")
+    if args.serve is None:
+        if args.pace:
+            parser.error("--pace requires --serve")
+        if args.serve_port_file:
+            parser.error("--serve-port-file requires --serve")
+    if args.pace < 0:
+        parser.error("--pace must be >= 0")
     want_obs = (args.obs or args.trace_out or args.log_json
                 or args.obs_metrics or args.prom or args.report
-                or args.sample_period is not None)
+                or args.sample_period is not None
+                or args.stream_log is not None
+                or args.serve is not None
+                or args.window is not None
+                or args.health_rule is not None
+                or args.self_profile)
     obs = None
     if want_obs:
         label = f"{args.group}-trace-{args.trace} {args.policy}"
@@ -313,7 +364,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                                             or args.log_json),
                          run_label=label,
                          lifecycle=bool(args.report),
-                         sample_period=args.sample_period)
+                         sample_period=args.sample_period,
+                         stream_log=args.stream_log,
+                         window_s=args.window,
+                         health_rules=args.health_rule,
+                         serve=args.serve,
+                         serve_port_file=args.serve_port_file,
+                         pace=args.pace,
+                         profile=args.self_profile)
 
     def run() -> ExperimentResult:
         return run_experiment(group, args.trace, policy=args.policy,
@@ -352,6 +410,24 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"{snapshot.get('reservation_reserve', 0):.0f} reservations, "
               f"{snapshot.get('blocking_detections', 0):.0f} blocking "
               f"detections")
+        if obs.health is not None:
+            verdict = obs.health.verdict()
+            print(f"health: {verdict['status']} "
+                  f"({verdict['incidents']} incidents over "
+                  f"{verdict['windows_evaluated']} windows)")
+        if obs.profiler is not None:
+            profile_report = obs.profiler.report()
+            shares = ", ".join(
+                f"{phase}={seconds:.3f}s"
+                for phase, seconds in sorted(
+                    profile_report["phases_s"].items(),
+                    key=lambda item: -item[1]))
+            print(f"profile: engine "
+                  f"{profile_report['engine_wall_s']:.3f}s wall, "
+                  f"coverage {profile_report['coverage']:.1%} ({shares})")
+        if obs.live is not None:
+            print(f"live: served {obs.live.requests_served} requests on "
+                  f"{obs.live.url} ({obs.live.publishes} publishes)")
         if args.trace_out:
             obs.write_trace(args.trace_out)
             print(f"[wrote Perfetto trace {args.trace_out}]")
@@ -379,6 +455,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         if args.export_json:
             summaries_to_json([summary], target=args.export_json)
             print(f"[wrote {args.export_json}]")
+    if obs is not None:
+        obs.close()
     return 0
 
 

@@ -39,6 +39,7 @@ CHANNELS: Tuple[str, ...] = (
     "loadinfo.domain",        # inter-domain summary exchange rounds
     "memory.fault",           # per-node thrashing transitions
     "fault.injection",        # injected crashes/recoveries/losses
+    "obs.alert",              # health-rule raises/clears (see obs.health)
 )
 
 #: JSON-native scalar types passed through untouched by ``jsonable``.

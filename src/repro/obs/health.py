@@ -1,0 +1,270 @@
+"""Declarative health rules evaluated over windowed metrics.
+
+The live telemetry plane watches a run the way an operator would watch
+a cluster: a small set of rules over the windowed snapshot stream
+(:mod:`repro.obs.window`), each firing an alert when its condition
+holds for long enough and clearing it when the condition goes away.
+
+Rule grammar (one rule per string)::
+
+    [severity:] <metric> <op> <threshold> [for <N> windows]
+    [severity:] absent(<metric>) [for <N> windows]
+
+* ``severity`` is ``info``, ``warning`` (default), or ``critical``;
+* ``metric`` is a dotted windowed-metric name resolved by
+  :func:`repro.obs.window.resolve_metric` — ``blocking.rate``,
+  ``requeue.rate``, ``slowdown.p95``, ``placement_latency.p95``,
+  ``loadinfo.age_s``, ``sim_lag``, ...;
+* ``op`` is one of ``>`` ``>=`` ``<`` ``<=``;
+* ``for N windows`` requires the condition to hold in ``N``
+  consecutive closed windows before the alert raises (default 1);
+* the ``absent(...)`` form fires when the metric has no value (never
+  observed, or a rate of exactly zero) — liveness watching.
+
+Examples::
+
+    blocking.rate > 0.5 for 3 windows
+    critical: sim_lag > 2.0 for 2 windows
+    info: absent(finish.rate) for 5 windows
+
+The engine evaluates every rule once per closed window, emits
+``obs.alert`` bus events (``raise`` / ``clear`` kinds) so alerts flow
+through the normal recording/streaming pipeline, keeps an incident
+log (rendered as the incident lane in the HTML report), and folds
+aggregate counts/durations into ``RunSummary.extra`` via the session.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.obs.bus import Channel, NULL_CHANNEL
+from repro.obs.window import resolve_metric
+
+SEVERITIES = ("info", "warning", "critical")
+
+#: Default rules attached when live serving is enabled without an
+#: explicit rule set: watch the pacer's real-time budget and job
+#: liveness.  Deliberately loose — they flag pathologies, not noise.
+DEFAULT_RULES = (
+    "warning: sim_lag > 2.0 for 2 windows",
+    "info: absent(finish.rate) for 5 windows",
+)
+
+_RULE_RE = re.compile(
+    r"^\s*(?:(?P<severity>info|warning|critical)\s*:\s*)?"
+    r"(?:(?P<absent>absent)\s*\(\s*(?P<ametric>[\w.]+)\s*\)"
+    r"|(?P<metric>[\w.]+)\s*(?P<op>>=|<=|>|<)\s*"
+    r"(?P<threshold>-?\d+(?:\.\d+)?(?:[eE][+-]?\d+)?))"
+    r"(?:\s+for\s+(?P<windows>\d+)\s+windows?)?\s*$")
+
+_OPS = {
+    ">": lambda value, threshold: value > threshold,
+    ">=": lambda value, threshold: value >= threshold,
+    "<": lambda value, threshold: value < threshold,
+    "<=": lambda value, threshold: value <= threshold,
+}
+
+
+@dataclass(frozen=True)
+class HealthRule:
+    """One parsed rule; ``source`` is the original rule string."""
+
+    source: str
+    metric: str
+    severity: str = "warning"
+    op: Optional[str] = None
+    threshold: float = 0.0
+    windows: int = 1
+    absent: bool = False
+
+    def holds(self, snapshot: dict) -> bool:
+        """Condition value for one closed-window snapshot."""
+        value = resolve_metric(snapshot, self.metric)
+        if self.absent:
+            return value is None or value == 0.0
+        if value is None:
+            return False
+        return _OPS[self.op](value, self.threshold)
+
+
+def parse_rule(text: str) -> HealthRule:
+    """Parse one rule string (see the module docstring for grammar)."""
+    match = _RULE_RE.match(text)
+    if match is None:
+        raise ValueError(
+            f"unparseable health rule {text!r}; expected "
+            f"'[severity:] metric <op> value [for N windows]' or "
+            f"'[severity:] absent(metric) [for N windows]'")
+    severity = match.group("severity") or "warning"
+    windows = int(match.group("windows") or 1)
+    if windows < 1:
+        raise ValueError(f"rule {text!r}: window count must be >= 1")
+    if match.group("absent"):
+        return HealthRule(source=text.strip(),
+                          metric=match.group("ametric"),
+                          severity=severity, windows=windows, absent=True)
+    return HealthRule(source=text.strip(), metric=match.group("metric"),
+                      severity=severity, op=match.group("op"),
+                      threshold=float(match.group("threshold")),
+                      windows=windows)
+
+
+@dataclass
+class Incident:
+    """One raised-alert episode (closed when the rule stops holding)."""
+
+    rule: HealthRule
+    raised_at: float
+    cleared_at: Optional[float] = None
+    peak_value: Optional[float] = None
+
+    @property
+    def severity(self) -> str:
+        return self.rule.severity
+
+    def duration(self, end_time: float) -> float:
+        end = self.cleared_at if self.cleared_at is not None else end_time
+        return max(0.0, end - self.raised_at)
+
+    def to_jsonable(self) -> dict:
+        return {"rule": self.rule.source, "severity": self.rule.severity,
+                "raised_at": self.raised_at,
+                "cleared_at": self.cleared_at,
+                "peak_value": self.peak_value}
+
+
+@dataclass
+class _RuleState:
+    rule: HealthRule
+    consecutive: int = 0
+    active: Optional[Incident] = None
+    raises: int = 0
+
+
+class HealthEngine:
+    """Evaluates a rule set against closed-window snapshots.
+
+    Attach it as a window observer
+    (``aggregator.add_observer(engine.evaluate)``); give it the bus's
+    ``obs.alert`` channel so raises/clears flow into the recorded
+    event stream.
+    """
+
+    def __init__(self, rules: Iterable[str] = DEFAULT_RULES,
+                 channel: Channel = NULL_CHANNEL):
+        self.rules: List[HealthRule] = [
+            rule if isinstance(rule, HealthRule) else parse_rule(rule)
+            for rule in rules]
+        self.channel = channel
+        self.incidents: List[Incident] = []
+        self.windows_evaluated = 0
+        self.last_time = 0.0
+        self._states: List[_RuleState] = [
+            _RuleState(rule) for rule in self.rules]
+
+    # ------------------------------------------------------------------
+    # evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, snapshot: dict) -> None:
+        """Evaluate every rule against one closed-window snapshot."""
+        now = snapshot.get("t", 0.0)
+        self.windows_evaluated += 1
+        self.last_time = now
+        ch = self.channel
+        for state in self._states:
+            rule = state.rule
+            value = resolve_metric(snapshot, rule.metric)
+            holds = rule.holds(snapshot)
+            if holds:
+                state.consecutive += 1
+            else:
+                state.consecutive = 0
+            if holds and state.active is None \
+                    and state.consecutive >= rule.windows:
+                incident = Incident(rule=rule, raised_at=now,
+                                    peak_value=value)
+                state.active = incident
+                state.raises += 1
+                self.incidents.append(incident)
+                if ch.enabled:
+                    ch.emit(now, "raise", rule=rule.source,
+                            severity=rule.severity, metric=rule.metric,
+                            value=value)
+            elif state.active is not None:
+                incident = state.active
+                if holds:
+                    if value is not None and (
+                            incident.peak_value is None
+                            or value > incident.peak_value):
+                        incident.peak_value = value
+                else:
+                    incident.cleared_at = now
+                    state.active = None
+                    if ch.enabled:
+                        ch.emit(now, "clear", rule=rule.source,
+                                severity=rule.severity,
+                                metric=rule.metric, value=value)
+
+    # ------------------------------------------------------------------
+    # verdicts and aggregates
+    # ------------------------------------------------------------------
+    def active_incidents(self) -> List[Incident]:
+        return [state.active for state in self._states
+                if state.active is not None]
+
+    def status(self) -> str:
+        """Overall verdict: ``critical`` > ``degraded`` (an active
+        warning) > ``ok``.  Active info alerts stay ``ok``."""
+        worst = "ok"
+        for incident in self.active_incidents():
+            if incident.severity == "critical":
+                return "critical"
+            if incident.severity == "warning":
+                worst = "degraded"
+        return worst
+
+    def verdict(self, now: Optional[float] = None) -> dict:
+        """The ``/healthz`` payload."""
+        if now is None:
+            now = self.last_time
+        return {
+            "status": self.status(),
+            "t": now,
+            "windows_evaluated": self.windows_evaluated,
+            "rules": [rule.source for rule in self.rules],
+            "active": [incident.to_jsonable()
+                       for incident in self.active_incidents()],
+            "incidents": len(self.incidents),
+        }
+
+    def aggregate(self, end_time: Optional[float] = None
+                  ) -> Dict[str, float]:
+        """Flat aggregates for ``RunSummary.extra`` (``obs.health_*``)."""
+        if end_time is None:
+            end_time = self.last_time
+        by_severity = {severity: 0.0 for severity in SEVERITIES}
+        total_s = 0.0
+        for incident in self.incidents:
+            by_severity[incident.severity] += 1.0
+            total_s += incident.duration(end_time)
+        out = {
+            "health_rules": float(len(self.rules)),
+            "health_windows_evaluated": float(self.windows_evaluated),
+            "health_alerts_total": float(len(self.incidents)),
+            "health_alert_s_total": total_s,
+            "health_active_alerts": float(len(self.active_incidents())),
+        }
+        for severity, count in by_severity.items():
+            out[f"health_alerts_{severity}"] = count
+        return out
+
+    def incident_records(self) -> List[dict]:
+        """Incident dicts for the report's incident lane."""
+        return [incident.to_jsonable() for incident in self.incidents]
+
+
+__all__ = ["DEFAULT_RULES", "HealthEngine", "HealthRule", "Incident",
+           "SEVERITIES", "parse_rule"]

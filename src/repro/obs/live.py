@@ -1,0 +1,258 @@
+"""Live monitoring plane: an HTTP server over a paced engine.
+
+:class:`LiveMonitor` is the first brick of the digital-twin service
+mode (ROADMAP item 1): it runs a stdlib :class:`ThreadingHTTPServer`
+on an ephemeral (or chosen) port next to the simulation and drives
+the engine in bounded real-time slices so the run can be *watched* —
+by a human on ``/dashboard``, by a Prometheus scraper on
+``/metrics``, by an orchestrator probe on ``/healthz``.
+
+Endpoints:
+
+* ``GET /metrics`` — Prometheus text exposition of the live metrics
+  registry (the same :meth:`MetricsRegistry.write_prom` payload the
+  batch path writes at the end of a run);
+* ``GET /healthz`` — the health-rule engine's verdict as JSON;
+  ``200`` while ok/degraded, ``503`` once a critical alert is active;
+* ``GET /snapshot.json`` — the windowed aggregation snapshot (rates,
+  cumulative totals, quantile sketches, staleness, sim lag);
+* ``GET /dashboard`` (and ``/``) — a self-refreshing, self-contained
+  inline-SVG page built from the same components as the batch HTML
+  reports.
+
+Threading model — the invariant that keeps this safe without slowing
+the engine: **HTTP handler threads never touch live state.**  The
+engine thread *publishes* fully rendered, immutable payload bytes
+under a lock at every slice boundary; handlers only read the latest
+published payloads.  Staleness is bounded by the slice width and the
+engine never blocks on a scrape.
+
+Pacing: ``pace`` is simulated seconds per wall second.  ``pace=0``
+runs the engine as fast as possible (publishing between slices);
+``pace>0`` sleeps between slices to hold the ratio, and reports
+``sim_lag_s`` — how far (in wall seconds) the engine is behind its
+real-time schedule — into the windowed snapshot and the metrics
+registry, where a health rule can watch it.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from io import StringIO
+from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.session import ObsSession
+    from repro.sim.engine import Simulator
+
+#: Wall-clock width of one paced engine slice.
+SLICE_WALL_S = 0.25
+
+#: One published payload: (body bytes, content type, HTTP status).
+Payload = Tuple[bytes, str, int]
+
+
+class _LiveHandler(BaseHTTPRequestHandler):
+    """Serves the monitor's published payloads (read-only)."""
+
+    server_version = "repro-live/1.0"
+
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        monitor: "LiveMonitor" = self.server.monitor  # type: ignore
+        path = self.path.split("?", 1)[0].rstrip("/") or "/dashboard"
+        payload = monitor.payload(path)
+        if payload is None:
+            body = b"not found; endpoints: /metrics /healthz " \
+                   b"/snapshot.json /dashboard\n"
+            self.send_response(404)
+            self.send_header("Content-Type", "text/plain; charset=utf-8")
+            self.send_header("Content-Length", str(len(body)))
+            self.end_headers()
+            self.wfile.write(body)
+            return
+        body, content_type, status = payload
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.send_header("Cache-Control", "no-store")
+        self.end_headers()
+        self.wfile.write(body)
+        monitor.requests_served += 1
+
+    def log_message(self, format: str, *args) -> None:  # noqa: A002
+        pass  # scrapes must not spam the run's stdout
+
+
+class LiveMonitor:
+    """HTTP monitoring server plus the paced engine drive loop."""
+
+    def __init__(self, session: "ObsSession", port: int = 0,
+                 pace: float = 0.0,
+                 port_file: Optional[str] = None,
+                 refresh_s: float = 2.0):
+        if pace < 0:
+            raise ValueError(f"pace must be >= 0 sim-s/wall-s: {pace!r}")
+        self.session = session
+        self.requested_port = port
+        self.pace = float(pace)
+        self.port_file = port_file
+        self.refresh_s = refresh_s
+        self.port: Optional[int] = None
+        self.publishes = 0
+        self.requests_served = 0
+        self.sim_lag_s = 0.0
+        self.sim_lag_max_s = 0.0
+        self._server: Optional[ThreadingHTTPServer] = None
+        self._thread: Optional[threading.Thread] = None
+        self._lock = threading.Lock()
+        self._payloads: Dict[str, Payload] = {}
+
+    # ------------------------------------------------------------------
+    # server lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "LiveMonitor":
+        """Bind the server, write the port file, start serving."""
+        server = ThreadingHTTPServer(("127.0.0.1", self.requested_port),
+                                     _LiveHandler)
+        server.daemon_threads = True
+        server.monitor = self  # type: ignore[attr-defined]
+        self._server = server
+        self.port = server.server_address[1]
+        if self.port_file:
+            with open(self.port_file, "w", encoding="utf-8") as stream:
+                stream.write(f"{self.port}\n")
+        thread = threading.Thread(target=server.serve_forever,
+                                  name="repro-live-http", daemon=True)
+        thread.start()
+        self._thread = thread
+        self.publish()  # endpoints answer before the first slice
+        return self
+
+    def stop(self) -> None:
+        if self._server is not None:
+            self._server.shutdown()
+            self._server.server_close()
+            self._server = None
+
+    @property
+    def url(self) -> str:
+        return f"http://127.0.0.1:{self.port}"
+
+    # ------------------------------------------------------------------
+    # publishing (engine thread only)
+    # ------------------------------------------------------------------
+    def payload(self, path: str) -> Optional[Payload]:
+        with self._lock:
+            return self._payloads.get(path)
+
+    def publish(self) -> None:
+        """Render every endpoint's payload from current state and swap
+        them in atomically.  Runs on the engine thread; handlers only
+        ever see complete, immutable payloads."""
+        session = self.session
+        prom = StringIO()
+        session.registry.write_prom(prom,
+                                    labels={"run": session.run_label})
+        metrics = (prom.getvalue().encode("utf-8"),
+                   "text/plain; version=0.0.4; charset=utf-8", 200)
+
+        now = (session.cluster.sim.now
+               if session.cluster is not None else 0.0)
+        snapshot = {}
+        if session.window is not None:
+            snapshot = session.window.snapshot(now)
+            if self.pace > 0:
+                snapshot["sim_lag_s"] = self.sim_lag_s
+                snapshot["sim_lag_max_s"] = self.sim_lag_max_s
+        snapshot_payload = (
+            (json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
+            .encode("utf-8"), "application/json", 200)
+
+        if session.health is not None:
+            verdict = session.health.verdict(now)
+        else:
+            verdict = {"status": "ok", "t": now, "rules": [],
+                       "active": [], "incidents": 0,
+                       "windows_evaluated": 0}
+        health_status = 503 if verdict["status"] == "critical" else 200
+        health_payload = (
+            (json.dumps(verdict, indent=2, sort_keys=True) + "\n")
+            .encode("utf-8"), "application/json", health_status)
+
+        from repro.obs.report import render_live_dashboard
+        history = (list(session.window.history)
+                   if session.window is not None else [])
+        incidents = (session.health.incident_records()
+                     if session.health is not None else [])
+        html = render_live_dashboard(
+            title=f"Live run — {session.run_label}",
+            snapshot=snapshot, history=history, verdict=verdict,
+            incidents=incidents, refresh_s=self.refresh_s,
+            paced=self.pace > 0)
+        dashboard = (html.encode("utf-8"),
+                     "text/html; charset=utf-8", 200)
+
+        with self._lock:
+            self._payloads = {
+                "/metrics": metrics,
+                "/snapshot.json": snapshot_payload,
+                "/healthz": health_payload,
+                "/dashboard": dashboard,
+            }
+        self.publishes += 1
+
+    # ------------------------------------------------------------------
+    # paced engine drive (engine thread)
+    # ------------------------------------------------------------------
+    def drive(self, sim: "Simulator",
+              run_fn: Optional[Callable[..., float]] = None) -> None:
+        """Advance the engine in bounded slices, publishing at every
+        slice boundary and (when paced) sleeping to hold the
+        sim-seconds-per-wall-second ratio."""
+        if run_fn is None:
+            run_fn = sim.run
+        window = self.session.window
+        if self.pace > 0:
+            slice_sim = self.pace * SLICE_WALL_S
+        elif window is not None:
+            slice_sim = window.window_s
+        else:
+            slice_sim = 100.0
+        wall_start = time.perf_counter()
+        sim_start = sim.now
+        registry = self.session.registry
+        while sim.has_non_daemon_work:
+            run_fn(until=sim.now + slice_sim)
+            if self.pace > 0:
+                expected = (sim.now - sim_start) / self.pace
+                actual = time.perf_counter() - wall_start
+                lag = actual - expected
+                self.sim_lag_s = max(0.0, lag)
+                if self.sim_lag_s > self.sim_lag_max_s:
+                    self.sim_lag_max_s = self.sim_lag_s
+                if window is not None:
+                    window.record_sim_lag(self.sim_lag_s)
+                registry.gauge("sim_lag_s").set(self.sim_lag_s)
+                self.publish()
+                if lag < 0:
+                    time.sleep(min(-lag, SLICE_WALL_S))
+            else:
+                self.publish()
+        self.publish()
+
+    def aggregate(self) -> Dict[str, float]:
+        """Flat gauges for ``RunSummary.extra`` (``obs.live_*``)."""
+        out = {
+            "live_publishes": float(self.publishes),
+            "live_requests": float(self.requests_served),
+        }
+        if self.pace > 0:
+            out["live_pace_sim_per_wall"] = self.pace
+            out["live_sim_lag_max_s"] = self.sim_lag_max_s
+        return out
+
+
+__all__ = ["LiveMonitor", "SLICE_WALL_S"]

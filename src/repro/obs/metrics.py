@@ -129,6 +129,13 @@ class MetricsRegistry:
         ``labels`` are attached to every sample (e.g. ``{"policy":
         "v-reconfiguration", "trace": "APP-1"}``), so sweep scrapes
         stay distinguishable.  Returns the number of samples written.
+
+        Conformance guarantees (checked by the exposition tests):
+        ``# HELP`` and ``# TYPE`` are emitted exactly once per metric
+        family, immediately before that family's first sample — even
+        when distinct registry names sanitize to the same Prometheus
+        name; label values are escaped; the payload ends in exactly
+        one trailing newline.
         """
         label_str = ""
         if labels:
@@ -138,21 +145,35 @@ class MetricsRegistry:
             label_str = "{" + pairs + "}"
         lines = []
         samples = 0
+        seen = set()
+
+        def header(metric: str, mtype: str, help_text: str) -> None:
+            # HELP/TYPE exactly once per family, even if two registry
+            # names collapse to one sanitized Prometheus name.
+            if metric in seen:
+                return
+            seen.add(metric)
+            lines.append(f"# HELP {metric} {_prom_help(help_text)}")
+            lines.append(f"# TYPE {metric} {mtype}")
+
         for name in sorted(self._instruments):
             instrument = self._instruments[name]
             metric = f"{namespace}_{_prom_name(name)}"
             if isinstance(instrument, Counter):
-                lines.append(f"# TYPE {metric} counter")
+                header(metric, "counter",
+                       f"Run counter {name} (repro metrics registry).")
                 lines.append(f"{metric}{label_str} "
                              f"{_prom_value(instrument.value)}")
                 samples += 1
             elif isinstance(instrument, Gauge):
-                lines.append(f"# TYPE {metric} gauge")
+                header(metric, "gauge",
+                       f"Run gauge {name} (repro metrics registry).")
                 lines.append(f"{metric}{label_str} "
                              f"{_prom_value(instrument.value)}")
                 samples += 1
             else:
-                lines.append(f"# TYPE {metric} summary")
+                header(metric, "summary",
+                       f"Run histogram {name} (repro metrics registry).")
                 lines.append(f"{metric}_count{label_str} "
                              f"{instrument.count}")
                 lines.append(f"{metric}_sum{label_str} "
@@ -164,7 +185,9 @@ class MetricsRegistry:
                             ("max", instrument.max),
                             ("avg", instrument.total / instrument.count)):
                         gauge = f"{metric}_{suffix}"
-                        lines.append(f"# TYPE {gauge} gauge")
+                        header(gauge, "gauge",
+                               f"Run histogram {name} {suffix} "
+                               f"(repro metrics registry).")
                         lines.append(f"{gauge}{label_str} "
                                      f"{_prom_value(value)}")
                         samples += 1
@@ -191,6 +214,12 @@ def _prom_name(name: str) -> str:
 def _prom_escape(value: str) -> str:
     return (str(value).replace("\\", r"\\").replace('"', r'\"')
             .replace("\n", r"\n"))
+
+
+def _prom_help(text: str) -> str:
+    """Escape a ``# HELP`` docstring (backslash and newline only, per
+    the exposition format; quotes are legal there)."""
+    return str(text).replace("\\", r"\\").replace("\n", r"\n")
 
 
 def _prom_value(value: float) -> str:

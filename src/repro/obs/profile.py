@@ -1,0 +1,180 @@
+"""Engine self-profiling: where does a run's wall time actually go?
+
+The obs stack watches the *cluster*; this module watches the
+*watcher's host* — the engine loop itself.  An
+:class:`EngineProfiler` wraps a handful of well-known hot entry
+points with stack-based phase timers:
+
+=================  ====================================================
+phase              wrapped entry points
+=================  ====================================================
+``recompute``      ``Workstation._recompute`` (per node)
+``placement``      the policy's ``_try_place``
+``reconfiguration``the policy's ``_monitor_tick`` (overload monitor,
+                   blocking detection, reservation decisions)
+``loadinfo``       directory refresh/exchange ticks (flat and
+                   domained) and the inter-domain summary tick
+``obs``            the cluster sampler's and window aggregator's own
+                   daemon ticks (instrumentation pays for itself
+                   visibly)
+``other``          everything else inside the engine loop — event
+                   dispatch, job service callbacks, memory model
+=================  ====================================================
+
+The timers are *exclusive* (self-time): a parent phase's clock stops
+while a child phase runs, so the phase times tile the engine wall
+time exactly — their sum equals the inclusive engine span, which is
+what makes the ``profile_bench`` coverage check (>= 90 % of engine
+wall time accounted) meaningful rather than decorative.
+
+Wrapping is per-instance (an instance attribute shadows the class
+method) and only happens when profiling is requested, so the
+no-profiling hot path is untouched.  Timing uses
+``time.perf_counter`` only — the simulation clock and event order are
+never consulted or altered, preserving the determinism invariant
+(checked by ``profile_bench``: summary identical modulo ``obs.*``).
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.cluster.cluster import Cluster
+    from repro.sim.engine import Simulator
+
+#: Phase name carrying the engine loop's self time.
+OTHER_PHASE = "other"
+
+
+class EngineProfiler:
+    """Deterministic phase timers around the engine loop."""
+
+    def __init__(self):
+        self.exclusive_s: Dict[str, float] = {}
+        self.calls: Dict[str, int] = {}
+        #: Inclusive engine-loop wall seconds (sums paced slices).
+        self.engine_wall_s = 0.0
+        self._stack: List[list] = []  # [phase, start, child_seconds]
+        self._wrapped: List[Tuple[object, str]] = []
+        self._perf = time.perf_counter
+
+    # ------------------------------------------------------------------
+    # timer core
+    # ------------------------------------------------------------------
+    def _enter(self, phase: str) -> None:
+        self._stack.append([phase, self._perf(), 0.0])
+
+    def _exit(self) -> float:
+        phase, started, child_s = self._stack.pop()
+        elapsed = self._perf() - started
+        self.exclusive_s[phase] = (self.exclusive_s.get(phase, 0.0)
+                                   + elapsed - child_s)
+        self.calls[phase] = self.calls.get(phase, 0) + 1
+        if self._stack:
+            self._stack[-1][2] += elapsed
+        return elapsed
+
+    # ------------------------------------------------------------------
+    # wiring
+    # ------------------------------------------------------------------
+    def wrap_method(self, obj: object, attr: str, phase: str) -> bool:
+        """Shadow ``obj.attr`` with a timed wrapper (instance
+        attribute).  Returns False when the attribute is missing, so
+        callers can wire optional hooks without hasattr chains."""
+        original = getattr(obj, attr, None)
+        if original is None:
+            return False
+
+        def timed(*args, **kwargs):
+            self._enter(phase)
+            try:
+                return original(*args, **kwargs)
+            finally:
+                self._exit()
+
+        timed.__wrapped__ = original  # type: ignore[attr-defined]
+        setattr(obj, attr, timed)
+        self._wrapped.append((obj, attr))
+        return True
+
+    def attach(self, cluster: "Cluster", policy=None,
+               extra_ticks: Tuple[Tuple[object, str], ...] = ()
+               ) -> "EngineProfiler":
+        """Wrap the run's hot entry points.
+
+        ``policy`` adds the placement/reconfiguration phases;
+        ``extra_ticks`` are (object, attr) pairs timed under the
+        ``obs`` phase (sampler/window ticks).
+        """
+        for node in cluster.nodes:
+            self.wrap_method(node, "_recompute", "recompute")
+        directory = cluster.directory
+        self.wrap_method(directory, "refresh", "loadinfo")
+        # Flat directory: its periodic exchange tick; domained: the
+        # shard-exchange and inter-domain summary ticks.
+        self.wrap_method(directory, "_tick", "loadinfo")
+        self.wrap_method(directory, "_exchange_tick", "loadinfo")
+        self.wrap_method(directory, "_summary_tick", "loadinfo")
+        if policy is not None:
+            self.wrap_method(policy, "_try_place", "placement")
+            self.wrap_method(policy, "_monitor_tick", "reconfiguration")
+        for obj, attr in extra_ticks:
+            self.wrap_method(obj, attr, "obs")
+        return self
+
+    def detach(self) -> None:
+        """Remove every wrapper (the shadowed class methods resume)."""
+        for obj, attr in self._wrapped:
+            try:
+                delattr(obj, attr)
+            except AttributeError:  # pragma: no cover - already gone
+                pass
+        self._wrapped.clear()
+
+    # ------------------------------------------------------------------
+    # engine driving
+    # ------------------------------------------------------------------
+    def run(self, sim: "Simulator", until: Optional[float] = None,
+            max_events: Optional[int] = None) -> float:
+        """Run the engine inside the enclosing profile span.  Safe to
+        call repeatedly (the pacer drives bounded slices through it);
+        inclusive slice times accumulate into ``engine_wall_s``."""
+        self._enter(OTHER_PHASE)
+        try:
+            return sim.run(until=until, max_events=max_events)
+        finally:
+            self.engine_wall_s += self._exit()
+
+    # ------------------------------------------------------------------
+    # reporting
+    # ------------------------------------------------------------------
+    def coverage(self) -> float:
+        """Accounted fraction: sum of exclusive phase times over the
+        inclusive engine wall time.  By construction ~1.0 when every
+        phase fired inside :meth:`run`."""
+        if self.engine_wall_s <= 0:
+            return 0.0
+        return sum(self.exclusive_s.values()) / self.engine_wall_s
+
+    def report(self) -> dict:
+        phases = dict(sorted(self.exclusive_s.items()))
+        return {
+            "engine_wall_s": self.engine_wall_s,
+            "phases_s": phases,
+            "calls": dict(sorted(self.calls.items())),
+            "coverage": self.coverage(),
+        }
+
+    def aggregate(self) -> Dict[str, float]:
+        """Flat gauges for ``RunSummary.extra`` (``obs.profile_*``)."""
+        out = {"profile_engine_wall_s": self.engine_wall_s,
+               "profile_coverage": self.coverage()}
+        for phase, seconds in self.exclusive_s.items():
+            out[f"profile_{phase}_wall_s"] = seconds
+            out[f"profile_{phase}_calls"] = float(self.calls.get(phase, 0))
+        return out
+
+
+__all__ = ["EngineProfiler", "OTHER_PHASE"]

@@ -447,14 +447,92 @@ def reservation_gantt(records: Sequence[dict], t_max: float,
     return legend + "".join(parts) + table
 
 
+#: Severity -> lane color (reuses the report palette; warning borrows
+#: the contention hue, critical the paging hue).
+_SEVERITY_COLORS = {
+    "info": "var(--c-cpu)",
+    "warning": "var(--c-contention)",
+    "critical": "var(--c-paging)",
+}
+
+
+def incident_lane(incidents: Sequence[dict], t_max: float,
+                  width: int = 860) -> str:
+    """Health-incident timeline: one row per incident, a bar from
+    raise to clear (or the run end while still active), colored by
+    severity.  ``incidents`` are
+    :meth:`repro.obs.health.Incident.to_jsonable` dicts."""
+    if not incidents:
+        return ('<p class="subtitle">No health alerts fired during '
+                'this run.</p>')
+    label_w, right_pad, bar_h, pitch, top = 250, 90, 14, 22, 8
+    plot_w = width - label_w - right_pad
+    height = top + pitch * len(incidents) + 28
+    t_max = t_max or 1.0
+    scale = plot_w / t_max
+    parts = [f'<svg viewBox="0 0 {width} {height}" role="img" '
+             f'width="100%" style="max-width:{width}px">']
+    for tick in _nice_ticks(0.0, t_max):
+        x = label_w + tick * scale
+        parts.append(f'<line x1="{x:.1f}" y1="{top}" x2="{x:.1f}" '
+                     f'y2="{height - 24}" stroke="var(--grid)" '
+                     f'stroke-width="1"/>')
+        parts.append(f'<text x="{x:.1f}" y="{height - 10}" '
+                     f'font-size="11" fill="var(--text-muted)" '
+                     f'text-anchor="middle">{_fmt(tick)}</text>')
+    rows = []
+    for i, rec in enumerate(incidents):
+        y = top + i * pitch
+        raised = rec.get("raised_at", 0.0)
+        cleared = rec.get("cleared_at")
+        end = cleared if cleared is not None else t_max
+        severity = rec.get("severity", "warning")
+        color = _SEVERITY_COLORS.get(severity, "var(--c-pending)")
+        rule = rec.get("rule", "?")
+        parts.append(f'<text x="{label_w - 8}" y="{y + bar_h - 3}" '
+                     f'font-size="12" fill="var(--text-secondary)" '
+                     f'text-anchor="end">{_esc(rule)}</text>')
+        state = ("cleared" if cleared is not None else "active")
+        tip = (f"{severity}: {rule} — raised t={_fmt(raised)}s, "
+               f"{state}"
+               + (f" t={_fmt(cleared)}s" if cleared is not None else ""))
+        bar_w = max(2.0, (end - raised) * scale)
+        parts.append(f'<rect class="mark" '
+                     f'x="{label_w + raised * scale:.2f}" y="{y}" '
+                     f'width="{bar_w:.2f}" height="{bar_h}" '
+                     f'fill="{color}">'
+                     f'<title>{_esc(tip)}</title></rect>')
+        parts.append(f'<text x="{label_w + end * scale + 6:.1f}" '
+                     f'y="{y + bar_h - 3}" font-size="11" '
+                     f'fill="var(--text-muted)">{_esc(state)}</text>')
+        peak = rec.get("peak_value")
+        rows.append((rule, severity, _fmt(raised),
+                     _fmt(cleared) if cleared is not None else "–",
+                     _fmt(peak) if peak is not None else "–", state))
+    parts.append(f'<line x1="{label_w}" y1="{top}" x2="{label_w}" '
+                 f'y2="{height - 24}" stroke="var(--baseline)" '
+                 f'stroke-width="1"/>')
+    parts.append("</svg>")
+    legend = _legend([(sev, color)
+                      for sev, color in _SEVERITY_COLORS.items()])
+    table = _table(["Rule", "Severity", "Raised (s)", "Cleared (s)",
+                    "Peak value", "State"], rows)
+    return legend + "".join(parts) + table
+
+
 # ----------------------------------------------------------------------
 # page assembly
 # ----------------------------------------------------------------------
 
-def _page(title: str, subtitle: str, body: str) -> str:
+def _page(title: str, subtitle: str, body: str,
+          refresh_s: Optional[float] = None) -> str:
+    refresh = ""
+    if refresh_s is not None:
+        refresh = f'<meta http-equiv="refresh" content="{refresh_s:g}">\n'
     return (
         "<!DOCTYPE html>\n"
         '<html lang="en"><head><meta charset="utf-8">\n'
+        f"{refresh}"
         f"<title>{_esc(title)}</title>\n"
         f"<style>{_CSS}</style></head>\n"
         f'<body><div class="viz-root">\n'
@@ -477,8 +555,10 @@ def _tiles(entries: Sequence[Tuple[str, str]]) -> str:
 def render_run_report(title: str, summary: Dict[str, float],
                       tracker: JobLifecycleTracker,
                       sampler: Optional[ClusterSampler] = None,
-                      top_jobs: int = 12) -> str:
-    """One run's self-contained HTML report."""
+                      top_jobs: int = 12,
+                      health=None) -> str:
+    """One run's self-contained HTML report.  ``health`` (a
+    :class:`~repro.obs.health.HealthEngine`) adds the incident lane."""
     finished = sorted(tracker.finished_jobs(),
                       key=lambda life: life.slowdown(), reverse=True)
     agg = tracker.aggregate()
@@ -540,6 +620,16 @@ def render_run_report(title: str, summary: Dict[str, float],
              '<div class="card">'
              + reservation_gantt(records, makespan) + "</div>")
 
+    incidents_html = ""
+    if health is not None:
+        incidents_html = (
+            "<h2>Health incidents</h2>"
+            '<div class="card"><p class="subtitle">Alerts raised by '
+            "the health-rule engine over the windowed metric stream; "
+            "a bar spans raise to clear.</p>"
+            + incident_lane(health.incident_records(), makespan)
+            + "</div>")
+
     jobs_table = _table(
         ["Job", "Slowdown", "Wall (s)", "CPU work (s)", "Migrations",
          "Reservation wait (s)", "Blocked (s)"],
@@ -555,7 +645,125 @@ def render_run_report(title: str, summary: Dict[str, float],
                 f"{summary.get('trace', '?')} · "
                 f"{_fmt(summary.get('num_jobs', len(finished)))} jobs")
     return _page(title, subtitle,
-                 tiles + attribution + timelines + gantt + jobs)
+                 tiles + attribution + timelines + gantt
+                 + incidents_html + jobs)
+
+
+# ----------------------------------------------------------------------
+# live dashboard
+# ----------------------------------------------------------------------
+
+def _history_series(history: Sequence[dict], *path,
+                    default: float = 0.0) -> List[float]:
+    """Extract one numeric series from snapshot history records by a
+    nested key path (``"rates", "finish"`` etc.)."""
+    out = []
+    for record in history:
+        value = record
+        for key in path:
+            value = value.get(key) if isinstance(value, dict) else None
+            if value is None:
+                break
+        out.append(float(value) if value is not None else default)
+    return out
+
+
+def render_live_dashboard(title: str, snapshot: dict,
+                          history: Sequence[dict], verdict: dict,
+                          incidents: Sequence[dict],
+                          refresh_s: float = 2.0,
+                          paced: bool = False) -> str:
+    """The ``/dashboard`` page: KPI tiles, windowed rate/quantile/
+    staleness charts over the snapshot history, the health verdict,
+    and the incident lane — auto-refreshing, fully self-contained
+    (same inline-SVG components as the batch reports)."""
+    now = snapshot.get("t", 0.0)
+    totals = snapshot.get("totals", {})
+    quantiles = snapshot.get("quantiles", {})
+    status = verdict.get("status", "ok")
+    tile_entries = [
+        ("Sim time", f"{_fmt(now)} s"),
+        ("Health", status),
+        ("Jobs finished", _fmt(totals.get("jobs_finished", 0.0))),
+        ("Pending jobs", _fmt(snapshot.get("pending_jobs", 0.0))),
+        ("Requeues", _fmt(totals.get("requeues", 0.0))),
+        ("Windows closed", _fmt(snapshot.get("window", 0.0))),
+    ]
+    if paced:
+        tile_entries.append(
+            ("Sim lag", f"{_fmt(snapshot.get('sim_lag_s', 0.0))} s"))
+    body = [_tiles(tile_entries)]
+
+    if len(history) >= 2:
+        times = [record.get("t", 0.0) for record in history]
+        throughput = line_chart(times, [
+            ("submit /s", "var(--c-cpu)",
+             _history_series(history, "rates", "submit")),
+            ("finish /s", "var(--c-io)",
+             _history_series(history, "rates", "finish")),
+            ("requeue /s", "var(--c-contention)",
+             _history_series(history, "rates", "requeue")),
+        ], y_label="events / sim s")
+        pressure = line_chart(times, [
+            ("blocking /s", "var(--c-paging)",
+             _history_series(history, "rates", "blocking")),
+            ("remote placements /s", "var(--c-transfer)",
+             _history_series(history, "rates", "placement_remote")),
+        ], y_label="events / sim s")
+        slowdown = line_chart(times, [
+            ("slowdown p95", "var(--c-paging)",
+             _history_series(history, "quantiles", "slowdown_p95")),
+            ("slowdown p50", "var(--c-cpu)",
+             _history_series(history, "quantiles", "slowdown_p50")),
+        ], y_label="slowdown (x work)")
+        staleness_series = [
+            ("load-info age", "var(--c-pending)",
+             _history_series(history, "staleness", "loadinfo_age_s"))]
+        domain_age = _history_series(history, "staleness",
+                                     "domain_summary_age_s", default=-1.0)
+        if any(value >= 0 for value in domain_age):
+            staleness_series.append(
+                ("domain summary age", "var(--c-transfer)",
+                 [max(0.0, value) for value in domain_age]))
+        staleness = line_chart(times, staleness_series, y_label="age (s)")
+        if paced:
+            staleness += line_chart(times, [
+                ("sim lag", "var(--c-contention)",
+                 _history_series(history, "sim_lag_s"))],
+                y_label="wall s behind")
+        body.append("<h2>Throughput</h2>"
+                    f'<div class="card">{throughput}</div>'
+                    "<h2>Pressure</h2>"
+                    f'<div class="card">{pressure}</div>'
+                    "<h2>Slowdown quantiles (windowed)</h2>"
+                    f'<div class="card">{slowdown}</div>'
+                    "<h2>Load-info staleness</h2>"
+                    f'<div class="card">{staleness}</div>')
+    else:
+        body.append('<p class="subtitle">Charts appear once the first '
+                    'aggregation windows close.</p>')
+
+    active = verdict.get("active", [])
+    if active:
+        body.append(
+            "<h2>Active alerts</h2>"
+            '<div class="card">'
+            + _table(["Rule", "Severity", "Raised (s)", "Peak value"],
+                     [(rec.get("rule", "?"), rec.get("severity", "?"),
+                       _fmt(rec.get("raised_at", 0.0)),
+                       _fmt(rec["peak_value"])
+                       if rec.get("peak_value") is not None else "–")
+                      for rec in active])
+            + "</div>")
+    body.append("<h2>Health incidents</h2>"
+                '<div class="card">'
+                + incident_lane(incidents, now) + "</div>")
+
+    mode = (f"paced live run · auto-refresh {refresh_s:g}s"
+            if paced else f"live run · auto-refresh {refresh_s:g}s")
+    subtitle = (f"{mode} · health {status} · "
+                f"{verdict.get('windows_evaluated', 0)} windows evaluated")
+    return _page(title, subtitle, "".join(body), refresh_s=refresh_s)
 
 
 # ----------------------------------------------------------------------

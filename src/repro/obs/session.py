@@ -6,6 +6,14 @@ live metrics; ``finalize`` folds engine-level gauges in and merges the
 snapshot (``obs.``-prefixed) into the run summary's ``extra`` dict so
 the numbers survive CSV/JSON export and process boundaries.
 
+Subscription is per-channel: the recorder (event buffer + streaming
+JSONL log) subscribes to every trace channel, but metric derivation is
+a per-channel handler table.  A channel with neither a recorder nor a
+metric handler is never subscribed at all, so it stays *disabled* and
+its emit sites skip payload construction entirely — a metrics-only
+session (``record_events=False``, no stream log) leaves the hottest
+channel (``cluster.job``, four events per job) switched off.
+
 Channel-to-metric mapping:
 
 ==========================  =============================================
@@ -22,10 +30,16 @@ channel                     metrics
 ``fault.injection``         ``fault_<kind>`` counters (crash, recover,
                             migration_failed, ...) plus
                             ``fault_lost_jobs``
+``obs.alert``               ``alerts_raised_<severity>``, ``alerts_cleared``
 ``sim.event``               ``sim_events_observed`` (opt-in; the exact
                             executed count is snapshotted from the
                             engine at finalize time for free)
 ==========================  =============================================
+
+The live-telemetry extensions (windowed aggregation, health rules, the
+HTTP monitoring server, engine self-profiling) are opt-in constructor
+parameters; with all of them off the session behaves exactly as the
+batch observability stack always has.
 """
 
 from __future__ import annotations
@@ -34,8 +48,8 @@ import json
 import time
 from collections import deque
 from contextlib import contextmanager
-from typing import (TYPE_CHECKING, Deque, Dict, List, Optional, TextIO,
-                    Union)
+from typing import (TYPE_CHECKING, Deque, Dict, List, Optional, Sequence,
+                    TextIO, Union)
 
 from repro.obs.bus import CHANNELS, EventBus, ObsEvent
 from repro.obs.lifecycle import JobLifecycleTracker
@@ -46,6 +60,10 @@ from repro.obs.trace_export import write_chrome_trace, write_jsonl
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.cluster.cluster import Cluster
     from repro.metrics.summary import RunSummary
+    from repro.obs.health import HealthEngine
+    from repro.obs.live import LiveMonitor
+    from repro.obs.profile import EngineProfiler
+    from repro.obs.window import WindowAggregator
 
 #: Channels recorded into the trace/log stream.  ``sim.event`` is
 #: excluded by default: at ~10^5 events per run it would dwarf every
@@ -59,22 +77,64 @@ EXTRA_PREFIX = "obs."
 class ObsSession:
     """Observation of one run: event recording plus metrics."""
 
+    #: channel name -> metric-handler method name.  Channels absent
+    #: from this table derive no session metrics and stay disabled
+    #: for metrics-only sessions (``cluster.job``, ``loadinfo.domain``
+    #: are consumed only by the optional window aggregator).
+    _METRIC_HANDLERS = {
+        "cluster.placement": "_metric_placement",
+        "cluster.migration": "_metric_migration",
+        "reconfig.blocking": "_metric_blocking",
+        "reconfig.reservation": "_metric_reservation",
+        "loadinfo.exchange": "_metric_exchange",
+        "memory.fault": "_metric_memory_fault",
+        "fault.injection": "_metric_fault",
+        "obs.alert": "_metric_alert",
+    }
+
     def __init__(self, record_events: bool = True,
                  record_sim_events: bool = False,
                  run_label: str = "run",
                  max_events: Optional[int] = None,
                  stream_log: Union[str, TextIO, None] = None,
                  lifecycle: bool = False,
-                 sample_period: Optional[float] = None):
+                 sample_period: Optional[float] = None,
+                 window_s: Optional[float] = None,
+                 health_rules: Optional[Sequence[str]] = None,
+                 serve: Optional[int] = None,
+                 serve_port_file: Optional[str] = None,
+                 pace: float = 0.0,
+                 profile: bool = False):
         """``max_events`` bounds the in-memory event buffer (a ring:
         the newest events win).  ``stream_log`` writes every observed
-        event to a JSONL file *as it happens* — independent of
-        ``record_events``, so long runs get a full on-disk log without
-        buffering it all in memory.  ``lifecycle=True`` attaches a
+        event to a line-buffered JSONL file *as it happens* —
+        independent of ``record_events``, so long runs get a full
+        tail-able on-disk log without buffering it all in memory.
+        ``lifecycle=True`` attaches a
         :class:`~repro.obs.lifecycle.JobLifecycleTracker`;
         ``sample_period`` (seconds of simulated time) attaches a
         :class:`~repro.obs.sampler.ClusterSampler`.  Both fold their
-        aggregates into the metrics snapshot at finalize."""
+        aggregates into the metrics snapshot at finalize.
+
+        Live-telemetry extensions:
+
+        * ``window_s`` attaches a
+          :class:`~repro.obs.window.WindowAggregator` with that window
+          width (also attached implicitly, at the default width, when
+          serving or health rules need it);
+        * ``health_rules`` attaches a
+          :class:`~repro.obs.health.HealthEngine` with the given rule
+          strings (defaults apply when serving without explicit rules);
+        * ``serve`` (a port; 0 means ephemeral) starts a
+          :class:`~repro.obs.live.LiveMonitor` HTTP server, with
+          ``serve_port_file`` recording the bound port and ``pace``
+          (simulated seconds per wall second; 0 = unpaced) bounding
+          real-time slices — drive the engine through
+          :meth:`run_engine`;
+        * ``profile=True`` attaches an
+          :class:`~repro.obs.profile.EngineProfiler` around the
+          engine's hot entry points.
+        """
         self.registry = MetricsRegistry()
         if max_events is not None and max_events <= 0:
             raise ValueError(f"max_events must be positive: {max_events!r}")
@@ -89,6 +149,16 @@ class ObsSession:
             JobLifecycleTracker() if lifecycle else None)
         self.sample_period = sample_period
         self.sampler: Optional[ClusterSampler] = None
+        self.window_s = window_s
+        self.health_rules = health_rules
+        self.serve = serve
+        self.serve_port_file = serve_port_file
+        self.pace = float(pace)
+        self.profile = profile
+        self.window: Optional["WindowAggregator"] = None
+        self.health: Optional["HealthEngine"] = None
+        self.live: Optional["LiveMonitor"] = None
+        self.profiler: Optional["EngineProfiler"] = None
         self._stream_target = stream_log
         self._stream: Optional[TextIO] = None
         self._stream_owned = False
@@ -100,21 +170,31 @@ class ObsSession:
     # ------------------------------------------------------------------
     # wiring
     # ------------------------------------------------------------------
-    def attach(self, cluster: "Cluster") -> "ObsSession":
+    def attach(self, cluster: "Cluster", policy=None) -> "ObsSession":
         """Subscribe to ``cluster``'s bus.  Call before the run starts
-        (after the cluster and policy are constructed)."""
+        (after the cluster and policy are constructed).  ``policy``
+        is only needed for self-profiling (placement/reconfiguration
+        phase timers)."""
         if self.cluster is not None:
             raise ValueError("ObsSession is single-use; already attached")
         self.cluster = cluster
         if self._stream_target is not None:
             if isinstance(self._stream_target, str):
+                # Line-buffered so `tail -f` sees each event as the
+                # simulation produces it, not at close time.
                 self._stream = open(self._stream_target, "w",
-                                    encoding="utf-8")
+                                    encoding="utf-8", buffering=1)
                 self._stream_owned = True
             else:
                 self._stream = self._stream_target
         bus: EventBus = cluster.obs
-        bus.subscribe_many(TRACE_CHANNELS, self._observe)
+        recording = self.record_events or self._stream is not None
+        for name in TRACE_CHANNELS:
+            if recording:
+                bus.subscribe(name, self._record)
+            handler = self._METRIC_HANDLERS.get(name)
+            if handler is not None:
+                bus.subscribe(name, getattr(self, handler))
         if self.record_sim_events:
             bus.subscribe("sim.event", self._observe_sim_event)
         if self.lifecycle is not None:
@@ -122,55 +202,123 @@ class ObsSession:
         if self.sample_period is not None:
             self.sampler = ClusterSampler(cluster,
                                           self.sample_period).start()
+        self._attach_live_plane(cluster, policy)
         return self
+
+    def _attach_live_plane(self, cluster: "Cluster", policy) -> None:
+        """Wire the opt-in live-telemetry extensions (window
+        aggregation, health rules, self-profiling, HTTP server)."""
+        want_window = (self.window_s is not None
+                       or self.serve is not None
+                       or self.health_rules is not None)
+        if want_window:
+            from repro.obs.window import DEFAULT_WINDOW_S, WindowAggregator
+            width = (self.window_s if self.window_s is not None
+                     else DEFAULT_WINDOW_S)
+            self.window = WindowAggregator(window_s=width).attach(cluster)
+        if self.health_rules is not None or self.serve is not None:
+            from repro.obs.health import DEFAULT_RULES, HealthEngine
+            rules = (self.health_rules if self.health_rules is not None
+                     else DEFAULT_RULES)
+            self.health = HealthEngine(
+                rules, channel=cluster.obs.channel("obs.alert"))
+            self.window.add_observer(self.health.evaluate)
+        if self.profile:
+            from repro.obs.profile import EngineProfiler
+            ticks = []
+            if self.sampler is not None:
+                ticks.append((self.sampler, "_tick"))
+            if self.window is not None:
+                ticks.append((self.window, "_tick"))
+            self.profiler = EngineProfiler().attach(
+                cluster, policy=policy, extra_ticks=tuple(ticks))
+        if self.serve is not None:
+            from repro.obs.live import LiveMonitor
+            self.live = LiveMonitor(
+                self, port=self.serve, pace=self.pace,
+                port_file=self.serve_port_file).start()
+
+    # ------------------------------------------------------------------
+    # engine driving
+    # ------------------------------------------------------------------
+    def run_engine(self, sim) -> None:
+        """Run the attached cluster's engine to completion through
+        whatever live-telemetry wrappers this session carries: the
+        profiler's phase span, and (when serving) the live monitor's
+        paced slice loop.  With neither, this is just ``sim.run()`` —
+        runners can call it unconditionally."""
+        if self.profiler is not None:
+            profiler = self.profiler
+
+            def run_fn(until=None, max_events=None):
+                return profiler.run(sim, until=until, max_events=max_events)
+        else:
+            run_fn = sim.run
+        if self.live is not None:
+            self.live.drive(sim, run_fn)
+        else:
+            run_fn()
 
     # ------------------------------------------------------------------
     # subscribers
     # ------------------------------------------------------------------
-    def _observe(self, event: ObsEvent) -> None:
+    def _record(self, event: ObsEvent) -> None:
         if self.record_events:
             self.events.append(event)
         if self._stream is not None:
             self._stream.write(json.dumps(event.to_jsonable()) + "\n")
             self._streamed_events += 1
+
+    def _metric_placement(self, event: ObsEvent) -> None:
+        self.registry.counter(f"placements_{event.kind}").inc()
+
+    def _metric_migration(self, event: ObsEvent) -> None:
         registry = self.registry
-        channel = event.channel
-        if channel == "cluster.placement":
-            registry.counter(f"placements_{event.kind}").inc()
-        elif channel == "cluster.migration":
-            registry.counter("migrations").inc()
-            registry.counter("migration_mb").inc(
-                event.data.get("image_mb", 0.0))
-            registry.histogram("migration_delay_s").observe(
-                event.data.get("delay_s", 0.0))
-        elif channel == "reconfig.blocking":
-            if event.kind == "activation-skipped":
-                registry.counter("activation_skipped").inc()
-            else:
-                registry.counter("blocking_detections").inc()
-        elif channel == "reconfig.reservation":
-            kind = event.kind.replace("-", "_")
-            registry.counter(f"reservation_{kind}").inc()
-            rid = event.data.get("reservation")
-            if event.kind == "reserve":
-                self._reserve_started[rid] = event.time
-            elif event.kind in ("release", "cancel"):
-                started = self._reserve_started.pop(rid, None)
-                if started is not None:
-                    registry.histogram("reservation_lifetime_s").observe(
-                        event.time - started)
-        elif channel == "loadinfo.exchange":
-            registry.counter("loadinfo_exchanges").inc()
-            registry.counter("loadinfo_nodes_refreshed").inc(
-                event.data.get("refreshed", 0))
-        elif channel == "memory.fault":
-            registry.counter("thrashing_transitions").inc()
-        elif channel == "fault.injection":
-            kind = event.kind.replace("-", "_")
-            registry.counter(f"fault_{kind}").inc()
-            if event.kind == "crash":
-                registry.counter("fault_lost_jobs").inc(
-                    event.data.get("lost_jobs", 0))
+        registry.counter("migrations").inc()
+        registry.counter("migration_mb").inc(
+            event.data.get("image_mb", 0.0))
+        registry.histogram("migration_delay_s").observe(
+            event.data.get("delay_s", 0.0))
+
+    def _metric_blocking(self, event: ObsEvent) -> None:
+        if event.kind == "activation-skipped":
+            self.registry.counter("activation_skipped").inc()
+        else:
+            self.registry.counter("blocking_detections").inc()
+
+    def _metric_reservation(self, event: ObsEvent) -> None:
+        kind = event.kind.replace("-", "_")
+        self.registry.counter(f"reservation_{kind}").inc()
+        rid = event.data.get("reservation")
+        if event.kind == "reserve":
+            self._reserve_started[rid] = event.time
+        elif event.kind in ("release", "cancel"):
+            started = self._reserve_started.pop(rid, None)
+            if started is not None:
+                self.registry.histogram(
+                    "reservation_lifetime_s").observe(event.time - started)
+
+    def _metric_exchange(self, event: ObsEvent) -> None:
+        self.registry.counter("loadinfo_exchanges").inc()
+        self.registry.counter("loadinfo_nodes_refreshed").inc(
+            event.data.get("refreshed", 0))
+
+    def _metric_memory_fault(self, event: ObsEvent) -> None:
+        self.registry.counter("thrashing_transitions").inc()
+
+    def _metric_fault(self, event: ObsEvent) -> None:
+        kind = event.kind.replace("-", "_")
+        self.registry.counter(f"fault_{kind}").inc()
+        if event.kind == "crash":
+            self.registry.counter("fault_lost_jobs").inc(
+                event.data.get("lost_jobs", 0))
+
+    def _metric_alert(self, event: ObsEvent) -> None:
+        if event.kind == "raise":
+            severity = event.data.get("severity", "warning")
+            self.registry.counter(f"alerts_raised_{severity}").inc()
+        elif event.kind == "clear":
+            self.registry.counter("alerts_cleared").inc()
 
     def _observe_sim_event(self, event: ObsEvent) -> None:
         self.registry.counter("sim_events_observed").inc()
@@ -199,10 +347,11 @@ class ObsSession:
     # ------------------------------------------------------------------
     def finalize(self, summary: Optional["RunSummary"] = None
                  ) -> Dict[str, float]:
-        """Fold in engine gauges, lifecycle/sampler aggregates, and
-        (optionally) merge the snapshot into ``summary.extra`` under
-        the ``obs.`` prefix.  Also closes a session-owned streaming
-        log."""
+        """Fold in engine gauges, lifecycle/sampler/window/health/
+        profile aggregates, and (optionally) merge the snapshot into
+        ``summary.extra`` under the ``obs.`` prefix.  Also closes a
+        session-owned streaming log.  The live HTTP server publishes
+        its final payloads but keeps serving until :meth:`close`."""
         if self.cluster is not None and not self._finalized:
             sim = self.cluster.sim
             self.registry.gauge("sim_events_executed").set(sim.event_count)
@@ -227,7 +376,22 @@ class ObsSession:
             if self.sampler is not None:
                 for key, value in self.sampler.aggregate().items():
                     self.registry.gauge(key).set(value)
+            if self.window is not None:
+                for key, value in self.window.aggregate().items():
+                    self.registry.gauge(key).set(value)
+            if self.health is not None:
+                for key, value in self.health.aggregate(
+                        end_time=sim.now).items():
+                    self.registry.gauge(key).set(value)
+            if self.profiler is not None:
+                for key, value in self.profiler.aggregate().items():
+                    self.registry.gauge(key).set(value)
+            if self.live is not None:
+                for key, value in self.live.aggregate().items():
+                    self.registry.gauge(key).set(value)
             self._finalized = True
+            if self.live is not None:
+                self.live.publish()
         snapshot = self.registry.snapshot()
         if summary is not None:
             self._summary = summary
@@ -235,10 +399,22 @@ class ObsSession:
                 summary.extra[EXTRA_PREFIX + key] = value
         return snapshot
 
+    def close(self) -> None:
+        """Stop the live HTTP server (if any) and release the stream
+        log.  Idempotent; call after the final exports."""
+        if self.live is not None:
+            self.live.stop()
+        if self._stream is not None:
+            if self._stream_owned:
+                self._stream.close()
+            self._stream = None
+
     def write_trace(self, target: Union[str, TextIO]) -> dict:
-        """Write the Chrome trace-event JSON (Perfetto-loadable)."""
+        """Write the Chrome trace-event JSON (Perfetto-loadable),
+        including the self-profiling track when profiling is on."""
         return write_chrome_trace(self.events, target,
-                                  run_label=self.run_label)
+                                  run_label=self.run_label,
+                                  profile=self.profiler)
 
     def write_log(self, target: Union[str, TextIO]) -> int:
         """Write the structured JSONL run log."""
@@ -291,5 +467,6 @@ class ObsSession:
         summary = dataclasses.asdict(self._summary)
         html = render_run_report(
             title or f"Run report — {self.run_label}",
-            summary, self.lifecycle, self.sampler)
+            summary, self.lifecycle, self.sampler,
+            health=self.health)
         return write_report(target, html)

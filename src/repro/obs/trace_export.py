@@ -25,9 +25,11 @@ from repro.obs.bus import ObsEvent
 #: Simulation seconds -> Chrome trace microseconds.
 _US = 1e6
 
-#: pid of the per-node tracks / of the network track.
+#: pid of the per-node tracks / of the network track / of the engine
+#: self-profiling track.
 CLUSTER_PID = 1
 NETWORK_PID = 2
+PROFILE_PID = 3
 
 
 def _meta(pid: int, name: str, tid: int = 0,
@@ -54,9 +56,39 @@ def _span(name: str, cat: str, start: float, end: float, pid: int,
             "cat": cat, "args": args}
 
 
+def _profile_track(profile) -> List[dict]:
+    """Self-profiling track (pid 3): one enclosing engine span plus
+    sequential per-phase spans sized by exclusive wall seconds.  Phase
+    spans are laid end to end (they tile the engine wall time by
+    construction), so the track reads as a flame-chart-style breakdown
+    even though the real execution interleaves them."""
+    report = profile.report()
+    wall = report["engine_wall_s"]
+    if wall <= 0:
+        return []
+    out = _meta(PROFILE_PID, "engine self-profile",
+                thread_name="phases (wall time)")
+    out.append(_span("engine loop", "obs.profile", 0.0, wall,
+                     PROFILE_PID, 0,
+                     {"coverage": report["coverage"],
+                      "wall_s": wall}))
+    cursor = 0.0
+    for phase, seconds in sorted(report["phases_s"].items(),
+                                 key=lambda item: -item[1]):
+        out.append(_span(phase, "obs.profile", cursor, cursor + seconds,
+                         PROFILE_PID, 1,
+                         {"wall_s": seconds,
+                          "calls": report["calls"].get(phase, 0),
+                          "share": seconds / wall}))
+        cursor += seconds
+    return out
+
+
 def chrome_trace(events: Sequence[ObsEvent],
-                 run_label: str = "run") -> dict:
-    """Build a Chrome trace-event document from an obs event stream."""
+                 run_label: str = "run", profile=None) -> dict:
+    """Build a Chrome trace-event document from an obs event stream.
+    ``profile`` (an :class:`~repro.obs.profile.EngineProfiler`) adds
+    the engine self-profiling track."""
     out: List[dict] = []
     node_ids: Dict[int, bool] = {}
     end_time = max((e.time for e in events), default=0.0)
@@ -136,21 +168,24 @@ def chrome_trace(events: Sequence[ObsEvent],
         meta.extend(_meta(CLUSTER_PID, f"cluster [{run_label}]",
                           tid=node, thread_name=f"node {node}"))
     meta.extend(_meta(NETWORK_PID, "network", thread_name="transfers"))
+    if profile is not None:
+        out.extend(_profile_track(profile))
 
     out.sort(key=lambda e: e.get("ts", 0.0))
     return {
         "traceEvents": meta + out,
         "displayTimeUnit": "ms",
         "otherData": {"run": run_label, "events": len(events),
-                      "time_unit": "1 sim second = 1 trace ms"},
+                      "time_unit": "1 sim second = 1 trace ms "
+                                   "(self-profile track: wall time)"},
     }
 
 
 def write_chrome_trace(events: Sequence[ObsEvent],
                        target: Union[str, TextIO],
-                       run_label: str = "run") -> dict:
+                       run_label: str = "run", profile=None) -> dict:
     """Serialize :func:`chrome_trace` output to ``target``."""
-    document = chrome_trace(events, run_label=run_label)
+    document = chrome_trace(events, run_label=run_label, profile=profile)
     payload = json.dumps(document)
     if isinstance(target, str):
         with open(target, "w") as stream:

@@ -128,6 +128,14 @@ class Simulator:
         """
         return self._non_daemon_pending + self._daemon_pending
 
+    @property
+    def has_non_daemon_work(self) -> bool:
+        """True while live non-daemon events remain — the condition an
+        external pacer loops on when driving the engine in bounded
+        ``run(until=...)`` slices (daemon ticks alone never keep a run
+        alive, so they must not keep a pacer alive either)."""
+        return self._non_daemon_pending > 0
+
     # ------------------------------------------------------------------
     # scheduling
     # ------------------------------------------------------------------

@@ -1,0 +1,182 @@
+"""Health-rule engine: grammar, raise/clear incident tracking, alert
+bus emission, verdicts, and end-to-end alerts on a real run."""
+
+import pytest
+
+from repro.experiments.scenario import run_blocking_scenario
+from repro.obs.bus import EventBus
+from repro.obs.health import (
+    DEFAULT_RULES,
+    HealthEngine,
+    HealthRule,
+    parse_rule,
+)
+from repro.obs.session import ObsSession
+
+
+def snap(t=0.0, **metrics):
+    """Minimal closed-window snapshot carrying top-level metrics."""
+    base = {"t": t, "rates": {}, "counts": {}, "totals": {},
+            "quantiles": {}, "staleness": {}}
+    base.update(metrics)
+    return base
+
+
+class TestRuleGrammar:
+    def test_threshold_rule(self):
+        rule = parse_rule("blocking.rate > 0.5 for 3 windows")
+        assert rule == HealthRule(source="blocking.rate > 0.5 for 3 windows",
+                                  metric="blocking.rate", severity="warning",
+                                  op=">", threshold=0.5, windows=3)
+
+    def test_severity_prefix(self):
+        rule = parse_rule("critical: sim_lag >= 2.0")
+        assert rule.severity == "critical"
+        assert rule.op == ">="
+        assert rule.windows == 1
+
+    def test_absent_form(self):
+        rule = parse_rule("info: absent(finish.rate) for 5 windows")
+        assert rule.absent
+        assert rule.metric == "finish.rate"
+        assert rule.severity == "info"
+        assert rule.windows == 5
+
+    def test_singular_window_keyword(self):
+        assert parse_rule("requeue.rate > 1 for 1 window").windows == 1
+
+    def test_scientific_threshold(self):
+        assert parse_rule("slowdown.p95 > 1.5e1").threshold == 15.0
+
+    @pytest.mark.parametrize("text", [
+        "", "blocking.rate", "blocking.rate == 1",
+        "loud: sim_lag > 1", "absent()", "sim_lag > abc",
+        "sim_lag > 1 for x windows",
+    ])
+    def test_unparseable(self, text):
+        with pytest.raises(ValueError, match="unparseable"):
+            parse_rule(text)
+
+    def test_zero_windows_rejected(self):
+        with pytest.raises(ValueError, match=">= 1"):
+            parse_rule("sim_lag > 1 for 0 windows")
+
+    def test_holds(self):
+        rule = parse_rule("sim_lag > 1.0")
+        assert rule.holds(snap(sim_lag_s=2.0))
+        assert not rule.holds(snap(sim_lag_s=0.5))
+        assert not rule.holds(snap())  # missing metric never holds
+
+    def test_absent_holds_on_missing_or_zero(self):
+        rule = parse_rule("absent(finish.rate)")
+        assert rule.holds(snap())
+        assert rule.holds(snap(rates={"finish": 0.0}))
+        assert not rule.holds(snap(rates={"finish": 0.2}))
+
+
+class TestHealthEngine:
+    def test_raise_after_consecutive_windows(self):
+        engine = HealthEngine(["sim_lag > 1.0 for 2 windows"])
+        engine.evaluate(snap(t=10.0, sim_lag_s=3.0))
+        assert engine.status() == "ok"  # one window is not enough
+        engine.evaluate(snap(t=20.0, sim_lag_s=4.0))
+        assert engine.status() == "degraded"
+        [incident] = engine.active_incidents()
+        assert incident.raised_at == 20.0
+        assert incident.peak_value == 4.0
+
+    def test_non_consecutive_windows_reset(self):
+        engine = HealthEngine(["sim_lag > 1.0 for 2 windows"])
+        engine.evaluate(snap(t=10.0, sim_lag_s=3.0))
+        engine.evaluate(snap(t=20.0, sim_lag_s=0.0))
+        engine.evaluate(snap(t=30.0, sim_lag_s=3.0))
+        assert engine.status() == "ok"
+        assert engine.incidents == []
+
+    def test_clear_and_peak_tracking(self):
+        engine = HealthEngine(["sim_lag > 1.0"])
+        engine.evaluate(snap(t=10.0, sim_lag_s=2.0))
+        engine.evaluate(snap(t=20.0, sim_lag_s=9.0))
+        engine.evaluate(snap(t=30.0, sim_lag_s=0.1))
+        assert engine.status() == "ok"
+        [incident] = engine.incidents
+        assert incident.raised_at == 10.0
+        assert incident.cleared_at == 30.0
+        assert incident.peak_value == 9.0
+        assert incident.duration(end_time=99.0) == 20.0
+
+    def test_critical_dominates_status(self):
+        engine = HealthEngine(["critical: sim_lag > 5.0",
+                               "sim_lag > 1.0",
+                               "info: absent(finish.rate)"])
+        engine.evaluate(snap(t=10.0, sim_lag_s=6.0))
+        assert engine.status() == "critical"
+
+    def test_info_alerts_keep_status_ok(self):
+        engine = HealthEngine(["info: absent(finish.rate)"])
+        engine.evaluate(snap(t=10.0))
+        assert engine.status() == "ok"
+        assert len(engine.active_incidents()) == 1
+
+    def test_alert_events_flow_through_bus(self):
+        bus = EventBus()
+        seen = []
+        bus.subscribe("obs.alert", seen.append)
+        engine = HealthEngine(["sim_lag > 1.0"],
+                              channel=bus.channel("obs.alert"))
+        engine.evaluate(snap(t=10.0, sim_lag_s=2.0))
+        engine.evaluate(snap(t=20.0, sim_lag_s=0.0))
+        assert [event.kind for event in seen] == ["raise", "clear"]
+        assert seen[0].data["rule"] == "sim_lag > 1.0"
+        assert seen[0].data["severity"] == "warning"
+
+    def test_verdict_payload(self):
+        engine = HealthEngine(["sim_lag > 1.0"])
+        engine.evaluate(snap(t=10.0, sim_lag_s=2.0))
+        verdict = engine.verdict()
+        assert verdict["status"] == "degraded"
+        assert verdict["t"] == 10.0
+        assert verdict["windows_evaluated"] == 1
+        assert verdict["rules"] == ["sim_lag > 1.0"]
+        assert verdict["active"][0]["rule"] == "sim_lag > 1.0"
+        assert verdict["incidents"] == 1
+
+    def test_aggregate(self):
+        engine = HealthEngine(["sim_lag > 1.0",
+                               "critical: sim_lag > 5.0"])
+        engine.evaluate(snap(t=10.0, sim_lag_s=6.0))
+        engine.evaluate(snap(t=20.0, sim_lag_s=0.0))
+        agg = engine.aggregate(end_time=20.0)
+        assert agg["health_rules"] == 2.0
+        assert agg["health_windows_evaluated"] == 2.0
+        assert agg["health_alerts_total"] == 2.0
+        assert agg["health_alerts_warning"] == 1.0
+        assert agg["health_alerts_critical"] == 1.0
+        assert agg["health_alerts_info"] == 0.0
+        assert agg["health_alert_s_total"] == 20.0
+        assert agg["health_active_alerts"] == 0.0
+
+    def test_default_rules_parse(self):
+        engine = HealthEngine(DEFAULT_RULES)
+        assert len(engine.rules) == 2
+
+
+class TestHealthOnRealRun:
+    def test_tripwire_rule_raises_and_reaches_summary(self):
+        # A threshold of -1 on a rate that is always >= 0 trips on the
+        # first closed window and never clears.
+        obs = ObsSession(record_events=True, window_s=100.0,
+                         health_rules=["info: finish.rate >= -1"],
+                         run_label="health-test")
+        result = run_blocking_scenario("v-reconfiguration", obs=obs)
+        assert obs.health is not None
+        assert obs.health.windows_evaluated >= 1
+        assert len(obs.health.incidents) == 1
+        extra = result.summary.extra
+        assert extra["obs.health_alerts_total"] == 1.0
+        assert extra["obs.health_alerts_info"] == 1.0
+        assert extra["obs.alerts_raised_info"] == 1.0
+        alerts = [event for event in obs.events
+                  if event.channel == "obs.alert"]
+        assert len(alerts) == 1
+        assert alerts[0].kind == "raise"

@@ -1,0 +1,193 @@
+"""Live monitoring HTTP server: endpoint payloads, health statuses,
+paced driving, and agreement between ``/snapshot.json`` and the run
+summary."""
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.experiments.scenario import run_blocking_scenario
+from repro.obs.live import SLICE_WALL_S, LiveMonitor
+from repro.obs.session import ObsSession
+
+from helpers import job, tiny_cluster
+
+
+def fetch(url):
+    with urllib.request.urlopen(url, timeout=5) as resp:
+        return resp.status, resp.headers, resp.read()
+
+
+@pytest.fixture(scope="module")
+def served_run():
+    """One scenario run served on an ephemeral port; the server keeps
+    answering after finalize (until ``close``), so tests probe it
+    post-run without racing the engine."""
+    obs = ObsSession(record_events=False, window_s=100.0, serve=0,
+                     run_label="live-test")
+    result = run_blocking_scenario("v-reconfiguration", obs=obs)
+    yield obs, result
+    obs.close()
+
+
+class TestEndpoints:
+    def test_metrics_exposition(self, served_run):
+        obs, _ = served_run
+        status, headers, body = fetch(f"{obs.live.url}/metrics")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/plain")
+        text = body.decode()
+        assert text.endswith("\n")
+        assert "# TYPE repro_blocking_detections counter" in text
+        assert 'run="live-test"' in text
+
+    def test_healthz(self, served_run):
+        obs, _ = served_run
+        status, headers, body = fetch(f"{obs.live.url}/healthz")
+        assert status == 200  # ok or degraded both answer 200
+        assert headers["Content-Type"].startswith("application/json")
+        verdict = json.loads(body)
+        assert verdict["status"] in ("ok", "degraded")
+        assert verdict["windows_evaluated"] == obs.health.windows_evaluated
+
+    def test_snapshot_agrees_with_summary(self, served_run):
+        obs, result = served_run
+        status, _, body = fetch(f"{obs.live.url}/snapshot.json")
+        assert status == 200
+        snapshot = json.loads(body)
+        assert snapshot["totals"]["jobs_finished"] == result.summary.num_jobs
+        assert snapshot["totals"]["migrations"] == result.summary.migrations
+        assert snapshot["t"] == result.cluster.sim.now
+
+    def test_dashboard_html(self, served_run):
+        obs, _ = served_run
+        status, headers, body = fetch(f"{obs.live.url}/dashboard")
+        assert status == 200
+        assert headers["Content-Type"].startswith("text/html")
+        html = body.decode()
+        assert "<svg" in html
+        assert "live-test" in html
+
+    def test_root_serves_dashboard(self, served_run):
+        obs, _ = served_run
+        _, headers, _ = fetch(f"{obs.live.url}/")
+        assert headers["Content-Type"].startswith("text/html")
+
+    def test_unknown_path_404_lists_endpoints(self, served_run):
+        obs, _ = served_run
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            fetch(f"{obs.live.url}/nope")
+        assert excinfo.value.code == 404
+        assert b"/snapshot.json" in excinfo.value.read()
+
+    def test_payloads_are_uncacheable(self, served_run):
+        obs, _ = served_run
+        _, headers, _ = fetch(f"{obs.live.url}/metrics")
+        assert headers["Cache-Control"] == "no-store"
+
+    def test_requests_are_counted(self, served_run):
+        obs, _ = served_run
+        before = obs.live.requests_served
+        fetch(f"{obs.live.url}/healthz")
+        assert obs.live.requests_served == before + 1
+
+    def test_live_aggregates_reach_summary(self, served_run):
+        obs, result = served_run
+        extra = result.summary.extra
+        assert extra["obs.live_publishes"] >= 1
+        assert "obs.live_requests" in extra
+
+
+class TestLiveMonitorUnit:
+    def test_port_file(self, tmp_path):
+        port_file = tmp_path / "port.txt"
+        obs = ObsSession(record_events=False, serve=0,
+                         serve_port_file=str(port_file))
+        cluster = tiny_cluster()
+        obs.attach(cluster)
+        try:
+            assert int(port_file.read_text().strip()) == obs.live.port
+        finally:
+            obs.close()
+
+    def test_stopped_server_refuses_connections(self):
+        obs = ObsSession(record_events=False, serve=0)
+        cluster = tiny_cluster()
+        obs.attach(cluster)
+        url = obs.live.url
+        fetch(f"{url}/healthz")  # answers before any engine slice
+        obs.close()
+        with pytest.raises(urllib.error.URLError):
+            fetch(f"{url}/healthz")
+
+    def test_critical_health_returns_503(self):
+        obs = ObsSession(record_events=False, window_s=5.0, serve=0,
+                         health_rules=["critical: pending_jobs >= 0"])
+        cluster = tiny_cluster()
+        obs.attach(cluster)
+        try:
+            cluster.nodes[0].add_job(job(work=20.0, demand=10.0))
+            obs.run_engine(cluster.sim)
+            with pytest.raises(urllib.error.HTTPError) as excinfo:
+                fetch(f"{obs.live.url}/healthz")
+            assert excinfo.value.code == 503
+            assert json.loads(excinfo.value.read())["status"] == "critical"
+        finally:
+            obs.close()
+
+
+class TestPacedDrive:
+    def test_paced_run_reaches_real_time(self):
+        # 20 sim-seconds of work at 40 sim-s per wall-s: roughly half a
+        # second of wall time, a couple of publish slices.
+        obs = ObsSession(record_events=False, window_s=5.0, serve=0,
+                         pace=40.0)
+        cluster = tiny_cluster()
+        obs.attach(cluster)
+        try:
+            cluster.nodes[0].add_job(job(work=20.0, demand=10.0))
+            polled = []
+
+            def poll():
+                try:
+                    _, _, body = fetch(f"{obs.live.url}/snapshot.json")
+                    polled.append(json.loads(body))
+                except urllib.error.URLError:
+                    pass
+
+            timer = threading.Timer(SLICE_WALL_S * 1.2, poll)
+            timer.start()
+            obs.run_engine(cluster.sim)
+            timer.join()
+            assert cluster.sim.now >= 20.0
+            assert obs.live.publishes >= 2
+            # Mid-run poll observed a consistent, partially advanced run.
+            if polled:
+                assert 0.0 <= polled[0]["t"] <= cluster.sim.now
+            snap = obs.window.snapshot(cluster.sim.now)
+            assert snap["totals"]["jobs_finished"] == 1.0
+            assert "sim_lag_s" in snap
+        finally:
+            obs.close()
+
+    def test_unpaced_drive_uses_window_slices(self):
+        obs = ObsSession(record_events=False, window_s=5.0, serve=0)
+        cluster = tiny_cluster()
+        obs.attach(cluster)
+        try:
+            cluster.nodes[0].add_job(job(work=20.0, demand=10.0))
+            obs.run_engine(cluster.sim)
+            # One publish per 5 s window slice plus the initial and
+            # final ones.
+            assert obs.live.publishes >= 4
+            assert obs.live.sim_lag_max_s == 0.0
+        finally:
+            obs.close()
+
+    def test_pace_requires_positive_value(self):
+        obs = ObsSession(record_events=False, serve=0, pace=-1.0)
+        with pytest.raises(ValueError, match="pace"):
+            obs.attach(tiny_cluster())

@@ -1,0 +1,140 @@
+"""Prometheus text-exposition conformance for ``write_prom``.
+
+Checks the guarantees the exporter documents: HELP/TYPE exactly once
+per family and before that family's first sample, label escaping,
+name sanitization (including collision handling), and the single
+trailing newline scrapers expect."""
+
+import re
+from io import StringIO
+
+import pytest
+
+from repro.obs.metrics import MetricsRegistry, _prom_escape, _prom_name
+
+SAMPLE_RE = re.compile(
+    r"^[a-zA-Z_:][a-zA-Z0-9_:]*"          # metric name
+    r"(\{[a-zA-Z_][a-zA-Z0-9_]*="          # optional label set
+    r'"(?:[^"\\]|\\.)*"'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*\})?'
+    r" -?[0-9].*$")
+
+
+def render(registry, **kwargs):
+    out = StringIO()
+    samples = registry.write_prom(out, **kwargs)
+    return out.getvalue(), samples
+
+
+def populated_registry():
+    registry = MetricsRegistry()
+    registry.counter("migrations").inc(3)
+    registry.gauge("pending_jobs").set(7.5)
+    hist = registry.histogram("migration_delay_s")
+    hist.observe(1.0)
+    hist.observe(3.0)
+    return registry
+
+
+class TestExposition:
+    def test_every_line_is_comment_or_valid_sample(self):
+        payload, _ = render(populated_registry(),
+                            labels={"run": "conformance"})
+        for line in payload.splitlines():
+            if line.startswith("#"):
+                assert re.match(r"^# (HELP|TYPE) [a-zA-Z_:][\w:]* .+$",
+                                line), line
+            else:
+                assert SAMPLE_RE.match(line), line
+
+    def test_help_and_type_once_per_family_before_samples(self):
+        payload, _ = render(populated_registry())
+        seen_families = []
+        sampled_families = set()
+        for line in payload.splitlines():
+            if line.startswith("# HELP "):
+                family = line.split()[2]
+                assert family not in seen_families, f"duplicate {family}"
+                assert family not in sampled_families, \
+                    f"{family} header after its samples"
+                seen_families.append(family)
+            elif not line.startswith("#"):
+                sampled_families.add(
+                    line.split("{")[0].split(" ")[0]
+                    .rsplit("_count", 1)[0].rsplit("_sum", 1)[0])
+        # one family per instrument plus min/max/avg gauge families
+        assert "repro_migrations" in seen_families
+        assert "repro_migration_delay_s" in seen_families
+        assert "repro_migration_delay_s_max" in seen_families
+
+    def test_histogram_renders_as_summary_family(self):
+        payload, samples = render(populated_registry())
+        assert "# TYPE repro_migration_delay_s summary" in payload
+        assert "repro_migration_delay_s_count 2" in payload
+        assert "repro_migration_delay_s_sum 4" in payload
+        assert "repro_migration_delay_s_avg 2" in payload
+        # counter + gauge + count/sum/min/max/avg
+        assert samples == 7
+
+    def test_single_trailing_newline(self):
+        payload, _ = render(populated_registry())
+        assert payload.endswith("\n")
+        assert not payload.endswith("\n\n")
+
+    def test_empty_registry_is_empty_payload(self):
+        payload, samples = render(MetricsRegistry())
+        assert payload == ""
+        assert samples == 0
+
+    def test_label_escaping(self):
+        registry = MetricsRegistry()
+        registry.counter("events").inc()
+        payload, _ = render(
+            registry, labels={"trace": 'quo"te\\back\nslash'})
+        assert r'trace="quo\"te\\back\nslash"' in payload
+        assert SAMPLE_RE.match(
+            [line for line in payload.splitlines()
+             if not line.startswith("#")][0])
+
+    def test_labels_sorted_and_sanitized(self):
+        registry = MetricsRegistry()
+        registry.counter("events").inc()
+        payload, _ = render(registry, labels={"b-key": "2", "a": "1"})
+        assert '{a="1",b_key="2"}' in payload
+
+    def test_name_sanitization_collision_keeps_one_header(self):
+        registry = MetricsRegistry()
+        registry.counter("odd.name").inc()
+        registry.counter("odd-name").inc(2)
+        payload, samples = render(registry)
+        assert payload.count("# TYPE repro_odd_name counter") == 1
+        assert payload.count("# HELP repro_odd_name ") == 1
+        assert samples == 2  # both samples still exported
+
+    def test_leading_digit_names_are_prefixed(self):
+        assert _prom_name("9lives") == "_9lives"
+        registry = MetricsRegistry()
+        registry.counter("9lives").inc()
+        payload, _ = render(registry)
+        assert "repro__9lives 1" in payload
+
+    def test_escape_helper_round_trip(self):
+        raw = 'a"b\\c\nd'
+        escaped = _prom_escape(raw)
+        assert escaped == r'a\"b\\c\nd'
+
+    def test_namespace_override(self):
+        registry = MetricsRegistry()
+        registry.gauge("depth").set(1.0)
+        payload, _ = render(registry, namespace="twin")
+        assert "twin_depth 1" in payload
+        assert "repro_" not in payload
+
+    def test_file_target(self, tmp_path):
+        target = tmp_path / "metrics.prom"
+        registry = populated_registry()
+        samples = registry.write_prom(str(target))
+        text = target.read_text()
+        assert samples == 7
+        assert text.endswith("\n")
+        assert "# TYPE repro_migrations counter" in text

@@ -42,6 +42,23 @@ class TestStreamingLog:
         lines = buffer.getvalue().splitlines()
         assert lines and json.loads(lines[0])
 
+    def test_stream_is_line_buffered_for_tailing(self, tmp_path):
+        # A `tail -f` consumer must see complete lines *during* the
+        # run, not only after finalize flushes/closes the handle.
+        target = tmp_path / "run.jsonl"
+        cluster = tiny_cluster()
+        obs = ObsSession(record_events=False, stream_log=str(target))
+        obs.attach(cluster)
+        for i in range(3):
+            cluster.nodes[i].add_job(job(work=10.0, demand=20.0))
+        cluster.sim.run(until=5.0)  # mid-run: stream still open
+        lines = target.read_text().splitlines()
+        assert lines, "no events visible before finalize"
+        for line in lines:
+            json.loads(line)  # every visible line is complete JSON
+        cluster.sim.run()
+        obs.finalize()
+
     def test_stream_matches_recorded_events(self):
         buffer = io.StringIO()
         _, obs = streamed_run(record_events=True, stream_log=buffer)

@@ -1,0 +1,198 @@
+"""Windowed streaming aggregation: P² sketches, rolling rates, and
+agreement between the live snapshot stream and the end-of-run summary.
+"""
+
+import random
+
+import pytest
+
+from repro.experiments.scenario import run_blocking_scenario
+from repro.obs.session import ObsSession
+from repro.obs.window import (
+    DEFAULT_WINDOW_S,
+    P2Quantile,
+    RollingCounter,
+    WindowAggregator,
+    WindowedGauge,
+    resolve_metric,
+)
+
+from helpers import job, tiny_cluster
+
+
+class TestP2Quantile:
+    @pytest.mark.parametrize("p", [0.5, 0.9, 0.95])
+    def test_uniform_accuracy(self, p):
+        rng = random.Random(17)
+        sketch = P2Quantile(p)
+        values = [rng.random() for _ in range(4000)]
+        for value in values:
+            sketch.observe(value)
+        values.sort()
+        exact = values[int(p * len(values))]
+        # P² is approximate; a few percent of the range is plenty for
+        # dashboard quantiles.
+        assert sketch.value() == pytest.approx(exact, abs=0.03)
+
+    def test_bimodal_accuracy(self):
+        rng = random.Random(5)
+        sketch = P2Quantile(0.95)
+        values = []
+        for _ in range(3000):
+            value = (rng.gauss(1.0, 0.1) if rng.random() < 0.9
+                     else rng.gauss(10.0, 1.0))
+            values.append(value)
+            sketch.observe(value)
+        values.sort()
+        exact = values[int(0.95 * len(values))]
+        assert sketch.value() == pytest.approx(exact, rel=0.25)
+
+    def test_small_counts_are_exact_order_statistics(self):
+        sketch = P2Quantile(0.5)
+        for value in (5.0, 1.0, 3.0):
+            sketch.observe(value)
+        assert sketch.value() == 3.0
+
+    def test_empty_sketch(self):
+        sketch = P2Quantile(0.95)
+        assert sketch.value() is None
+        assert sketch.mean() is None
+
+    def test_mean_min_max_exact(self):
+        sketch = P2Quantile(0.9)
+        for value in range(1, 101):
+            sketch.observe(float(value))
+        assert sketch.mean() == pytest.approx(50.5)
+        assert sketch.min == 1.0
+        assert sketch.max == 100.0
+
+
+class TestRollingInstruments:
+    def test_rolling_counter(self):
+        counter = RollingCounter()
+        counter.inc()
+        counter.inc(3.0)
+        assert counter.total == 4.0
+        counter.roll(10.0)
+        assert counter.last_count == 4.0
+        assert counter.last_rate == pytest.approx(0.4)
+        assert counter.current == 0.0
+        counter.roll(10.0)
+        assert counter.last_rate == 0.0
+        assert counter.total == 4.0  # cumulative survives rolls
+
+    def test_windowed_gauge(self):
+        gauge = WindowedGauge()
+        gauge.set(2.0)
+        gauge.set(5.0)
+        assert gauge.window_max == 5.0
+        gauge.roll()
+        gauge.set(1.0)
+        assert gauge.window_max == 1.0
+        assert gauge.value == 1.0
+
+
+class TestWindowAggregator:
+    def test_snapshots_close_on_window_ticks(self):
+        cluster = tiny_cluster()
+        aggregator = WindowAggregator(window_s=10.0).attach(cluster)
+        cluster.nodes[0].add_job(job(work=35.0, demand=10.0))
+        cluster.sim.run()
+        assert aggregator.windows_closed >= 3
+        assert len(aggregator.history) == aggregator.windows_closed
+        ts = [snap["t"] for snap in aggregator.history]
+        assert ts == sorted(ts)
+        assert all(snap["closed"] for snap in aggregator.history)
+
+    def test_window_ticks_are_daemon_events(self):
+        cluster = tiny_cluster()
+        WindowAggregator(window_s=10.0).attach(cluster)
+        cluster.sim.run()  # no jobs: must terminate immediately
+        assert cluster.sim.now == 0.0
+
+    def test_open_snapshot_on_demand(self):
+        cluster = tiny_cluster()
+        aggregator = WindowAggregator(window_s=1000.0).attach(cluster)
+        cluster.nodes[0].add_job(job(work=20.0, demand=10.0))
+        cluster.sim.run()
+        snap = aggregator.snapshot(cluster.sim.now)
+        assert not snap["closed"]
+        assert snap["totals"]["jobs_finished"] == 1.0
+
+    def test_rejects_nonpositive_window(self):
+        with pytest.raises(ValueError, match="positive"):
+            WindowAggregator(window_s=0.0)
+
+    def test_observer_sees_each_closed_window(self):
+        cluster = tiny_cluster()
+        aggregator = WindowAggregator(window_s=10.0).attach(cluster)
+        seen = []
+        aggregator.add_observer(lambda snap: seen.append(snap["t"]))
+        cluster.nodes[0].add_job(job(work=25.0, demand=10.0))
+        cluster.sim.run()
+        assert len(seen) == aggregator.windows_closed
+
+
+class TestSnapshotAgreesWithSummary:
+    """Acceptance: windowed aggregation agrees with the end-of-run
+    RunSummary on every overlapping metric."""
+
+    @pytest.fixture(scope="class")
+    def windowed_run(self):
+        obs = ObsSession(record_events=False, window_s=100.0,
+                         run_label="window-test")
+        result = run_blocking_scenario("v-reconfiguration", obs=obs)
+        return obs, result
+
+    def test_totals_match_summary(self, windowed_run):
+        obs, result = windowed_run
+        snap = obs.window.snapshot(result.cluster.sim.now)
+        assert snap["totals"]["jobs_finished"] == result.summary.num_jobs
+        assert snap["totals"]["migrations"] == result.summary.migrations
+
+    def test_slowdown_mean_matches_summary(self, windowed_run):
+        obs, result = windowed_run
+        snap = obs.window.snapshot(result.cluster.sim.now)
+        assert snap["quantiles"]["slowdown_mean"] == pytest.approx(
+            result.summary.average_slowdown, rel=1e-6)
+
+    def test_aggregate_reaches_summary_extra(self, windowed_run):
+        obs, result = windowed_run
+        extra = result.summary.extra
+        assert extra["obs.window_width_s"] == 100.0
+        assert extra["obs.window_count"] >= 1
+        assert extra["obs.window_jobs_finished"] == result.summary.num_jobs
+
+    def test_default_window_constant(self):
+        assert DEFAULT_WINDOW_S == 50.0
+
+
+class TestResolveMetric:
+    SNAPSHOT = {
+        "t": 100.0,
+        "rates": {"finish": 0.5, "blocking": 0.0},
+        "counts": {"finish": 25.0},
+        "totals": {"jobs_finished": 50.0, "requeues": 3.0},
+        "quantiles": {"slowdown_p95": 4.0, "slowdown_mean": 2.0},
+        "staleness": {"loadinfo_age_s": 1.5},
+        "pending_jobs": 7.0,
+        "sim_lag_s": 0.25,
+    }
+
+    @pytest.mark.parametrize("name,expected", [
+        ("finish.rate", 0.5),
+        ("finish.count", 25.0),
+        ("finish.total", 50.0),
+        ("requeue.total", 3.0),
+        ("slowdown.p95", 4.0),
+        ("slowdown.mean", 2.0),
+        ("loadinfo.age_s", 1.5),
+        ("sim_lag", 0.25),
+        ("pending_jobs", 7.0),
+    ])
+    def test_resolution(self, name, expected):
+        assert resolve_metric(self.SNAPSHOT, name) == expected
+
+    def test_unknown_metric_is_none(self):
+        assert resolve_metric(self.SNAPSHOT, "nope.rate") is None
+        assert resolve_metric(self.SNAPSHOT, "nonsense") is None
