@@ -41,7 +41,13 @@ cannot trip the CI ratio gates):
   fault schedule is deterministic (two runs, identical summaries) and
   reporting the faults-on/faults-off factor.  The faults-*off* run is
   the one the ``--fail-below-ratio`` gate reads, so the fault
-  subsystem cannot mask a hot-path regression.
+  subsystem cannot mask a hot-path regression;
+* **streaming ingest** — a live session (ephemeral HTTP port, paced
+  engine) saturated with ``POST /submit`` job batches for a fixed
+  wall window, reporting the sustained jobs/s the whole
+  HTTP → validate → enqueue → slice-boundary-admit pipeline clears,
+  plus the engine's max sim lag during the flood (gated in CI via
+  ``--ingest-fail-below-ratio``).
 
 ``BENCH_perf.json`` records those numbers plus the environment
 (cpu count, python version), giving every future PR a trajectory to
@@ -129,6 +135,17 @@ DOMAIN_BENCH_NODES = 2048
 DOMAIN_BENCH_DOMAINS = 16
 DOMAIN_BENCH_HUGE_NODES = 10000
 DOMAIN_BENCH_HUGE_DOMAINS = 32
+
+#: Ingest-bench shape: batches of short jobs POSTed back-to-back to a
+#: live session's ``/submit`` for a fixed wall window.  The window is
+#: fixed (rather than a fixed job count) so the figure is not
+#: quantized by the 0.25 s slice-boundary admission cadence; the
+#: feeder sends thousands of jobs, so one boundary either way is
+#: noise.
+INGEST_BENCH_WALL_S = 2.0
+INGEST_BENCH_BATCH = 32
+INGEST_BENCH_PACE = 5000.0
+INGEST_BENCH_NODES = 32
 
 
 def _cpu_env() -> dict:
@@ -444,6 +461,103 @@ def measure_faults_bench(scale: float = SWEEP_SCALE) -> dict:
     }
 
 
+def measure_ingest_bench() -> dict:
+    """Sustained streaming-ingest throughput (jobs/s *admitted*).
+
+    A live session on an ephemeral port is held open by an ingest hold
+    while the feeder POSTs batches of half-second jobs to ``/submit``
+    as fast as the server answers, for :data:`INGEST_BENCH_WALL_S`
+    wall seconds.  The clock stops only once the engine has admitted
+    every posted job (queued-but-unadmitted work does not count), so
+    the figure covers HTTP parsing, validation, queueing and the
+    engine's slice-boundary admission — plus the simulation of the
+    admitted jobs themselves, which is exactly the lag a live operator
+    would feel.  The engine's max sim lag rides along: an ingest-path
+    regression shows up either as fewer jobs/s or as the engine
+    falling behind its pace.  Best of :data:`BENCH_REPEATS` attempts.
+    """
+    import threading
+    import urllib.request
+
+    from repro.cluster.cluster import Cluster
+    from repro.experiments.runner import POLICIES
+    from repro.metrics.collector import (MetricsCollector,
+                                         PolicyPendingProbe)
+    from repro.obs.session import ObsSession
+
+    batch = [{"program": "ingest-bench", "lifetime_s": 0.5,
+              "peak_demand_mb": 8.0,
+              "home_node": k % INGEST_BENCH_NODES}
+             for k in range(INGEST_BENCH_BATCH)]
+    payload = json.dumps(batch).encode("utf-8")
+
+    def attempt() -> dict:
+        cluster = Cluster(default_config(WorkloadGroup.SPEC).replace(
+            num_nodes=INGEST_BENCH_NODES))
+        policy = POLICIES["g-loadsharing"](cluster)
+        collector = MetricsCollector(
+            cluster, pending_probe=PolicyPendingProbe(policy))
+        obs = ObsSession(record_events=False, serve=0,
+                         pace=INGEST_BENCH_PACE,
+                         run_label="ingest-bench")
+        obs.attach(cluster, policy=policy)
+        obs.bind_run(collector=collector, jobs=[],
+                     trace_name="ingest-bench")
+        monitor = obs.live
+        monitor.add_ingest_hold()
+        engine = threading.Thread(
+            target=lambda: obs.run_engine(cluster.sim),
+            name="ingest-bench-engine")
+        engine.start()
+        url = f"{monitor.url}/submit"
+        try:
+            started = time.perf_counter()
+            feed_until = started + INGEST_BENCH_WALL_S
+            posts = 0
+            while time.perf_counter() < feed_until:
+                request = urllib.request.Request(url, data=payload,
+                                                 method="POST")
+                with urllib.request.urlopen(request, timeout=30) as resp:
+                    resp.read()
+                posts += 1
+            sent = posts * INGEST_BENCH_BATCH
+            drain_deadline = started + 10 * INGEST_BENCH_WALL_S
+            while (monitor.jobs_admitted < sent
+                   and time.perf_counter() < drain_deadline):
+                time.sleep(0.005)
+            wall_s = time.perf_counter() - started
+        finally:
+            monitor.release_ingest_hold()
+            engine.join(timeout=120)
+            obs.close()
+        admitted = monitor.jobs_admitted
+        if admitted < sent:
+            raise AssertionError(
+                f"ingest bench admitted only {admitted} of {sent} "
+                f"posted jobs before the drain deadline")
+        jobs_per_s = admitted / wall_s if wall_s > 0 else 0.0
+        return {
+            "wall_s": wall_s,
+            "http_posts": posts,
+            "admitted": admitted,
+            "jobs_per_s": jobs_per_s,
+            # _best_of selects on events_per_s; this leg's "event" is
+            # one admitted job.
+            "events_per_s": jobs_per_s,
+            "sim_lag_max_s": monitor.sim_lag_max_s,
+            "env": _cpu_env(),
+        }
+
+    best = _best_of(BENCH_REPEATS, attempt)
+    best.update(
+        feed_window_s=INGEST_BENCH_WALL_S,
+        batch_size=INGEST_BENCH_BATCH,
+        pace_sim_per_wall=INGEST_BENCH_PACE,
+        nodes=INGEST_BENCH_NODES,
+    )
+    return best
+
+
 def measure_sweep(jobs: int, scale: float = SWEEP_SCALE) -> dict:
     """Wall seconds for the quick-mode sweep at ``jobs`` workers."""
     specs = sweep_specs(scale)
@@ -607,7 +721,8 @@ def run_harness(jobs: int = 0, scale: float = SWEEP_SCALE,
                 sampler_bench: bool = True,
                 faults_bench: bool = True,
                 domain_bench: bool = True,
-                profile_bench: bool = True) -> dict:
+                profile_bench: bool = True,
+                ingest_bench: bool = True) -> dict:
     """Measure, check determinism, and (optionally) write the report."""
     resolved = resolve_jobs(jobs)
     single = measure_single_run(scale)
@@ -656,6 +771,8 @@ def run_harness(jobs: int = 0, scale: float = SWEEP_SCALE,
         report["profile_bench"] = measure_profile_bench(scale)
     if faults_bench:
         report["faults_bench"] = measure_faults_bench(scale)
+    if ingest_bench:
+        report["ingest_bench"] = measure_ingest_bench()
     if output:
         with open(output, "w") as stream:
             json.dump(report, stream, indent=2, sort_keys=True)
@@ -695,6 +812,16 @@ def committed_domain_events_per_s(path: str,
         return None
 
 
+def committed_ingest_jobs_per_s(path: str) -> Optional[float]:
+    """Ingest-bench jobs/s from an existing report, if readable."""
+    try:
+        with open(path) as stream:
+            prior = json.load(stream)
+        return float(prior["ingest_bench"]["jobs_per_s"])
+    except (OSError, KeyError, TypeError, ValueError, json.JSONDecodeError):
+        return None
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         description="Time the quick-mode sweep and write BENCH_perf.json.")
@@ -719,6 +846,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="skip the fault-injection overhead leg")
     parser.add_argument("--no-domain-bench", action="store_true",
                         help="skip the sharded-directory (domains) leg")
+    parser.add_argument("--no-ingest-bench", action="store_true",
+                        help="skip the streaming-ingest throughput leg")
     parser.add_argument("--fail-below-ratio", type=float, default=None,
                         metavar="R",
                         help="exit non-zero if fresh single-run events/s "
@@ -736,6 +865,12 @@ def main(argv: Optional[List[str]] = None) -> int:
                              "16-domain bench events/s is below R times "
                              "the committed report's figure for the same "
                              "leg (CI sharded-directory regression gate)")
+    parser.add_argument("--ingest-fail-below-ratio", type=float,
+                        default=None, metavar="R",
+                        help="exit non-zero if the fresh streaming-"
+                             "ingest jobs/s is below R times the "
+                             "committed report's figure (CI ingest "
+                             "regression gate)")
     parser.add_argument("--max-obs-overhead-factor", type=float,
                         default=None, metavar="F",
                         help="exit non-zero if the obs-on run is more "
@@ -751,6 +886,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     if args.domain_fail_below_ratio is not None and args.no_domain_bench:
         parser.error("--domain-fail-below-ratio needs the domain bench; "
                      "drop --no-domain-bench")
+    if args.ingest_fail_below_ratio is not None and args.no_ingest_bench:
+        parser.error("--ingest-fail-below-ratio needs the ingest bench; "
+                     "drop --no-ingest-bench")
     committed = (committed_events_per_s(args.output)
                  if args.fail_below_ratio is not None else None)
     scale_gate_leg = "nodes_%d_indexed" % SCALE_BENCH_NODES[-1]
@@ -762,6 +900,9 @@ def main(argv: Optional[List[str]] = None) -> int:
     committed_domain = (
         committed_domain_events_per_s(args.output, domain_gate_leg)
         if args.domain_fail_below_ratio is not None else None)
+    committed_ingest = (
+        committed_ingest_jobs_per_s(args.output)
+        if args.ingest_fail_below_ratio is not None else None)
     report = run_harness(jobs=args.jobs, scale=args.scale,
                          output=args.output,
                          scale_bench=not args.no_scale_bench,
@@ -769,7 +910,8 @@ def main(argv: Optional[List[str]] = None) -> int:
                          sampler_bench=not args.no_sampler_bench,
                          faults_bench=not args.no_faults_bench,
                          domain_bench=not args.no_domain_bench,
-                         profile_bench=not args.no_profile_bench)
+                         profile_bench=not args.no_profile_bench,
+                         ingest_bench=not args.no_ingest_bench)
     single = report["single_run"]
     print(f"single run : {single['events']} events in "
           f"{single['wall_s']:.2f}s = {single['events_per_s']:,.0f} ev/s")
@@ -835,6 +977,12 @@ def main(argv: Optional[List[str]] = None) -> int:
               f"overhead {bench['overhead_factor']:.2f}x "
               f"({bench['crashes']:.0f} crashes, "
               f"{bench['lost_jobs']:.0f} jobs lost, deterministic)")
+    if "ingest_bench" in report:
+        bench = report["ingest_bench"]
+        print(f"ingest     : {bench['admitted']} jobs in "
+              f"{bench['wall_s']:.2f}s = {bench['jobs_per_s']:,.0f} "
+              f"jobs/s admitted over {bench['http_posts']} POSTs, "
+              f"max sim lag {bench['sim_lag_max_s']:.3f}s")
     base = report["baseline"]
     print(f"baseline   : {base['single_run_events_per_s']:,.0f} ev/s, "
           f"serial sweep {base['serial_sweep_wall_s']:.2f}s (pre-change)")
@@ -888,6 +1036,22 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"[domain gate ok: {domain_gate_leg} {fresh:,.0f} >= "
                   f"{args.domain_fail_below_ratio:.0%} of "
                   f"{committed_domain:,.0f} ev/s]")
+    if args.ingest_fail_below_ratio is not None:
+        if committed_ingest is None:
+            print("[no committed ingest-bench figure to gate against; "
+                  "ingest gate skipped]")
+        else:
+            floor = args.ingest_fail_below_ratio * committed_ingest
+            fresh = report["ingest_bench"]["jobs_per_s"]
+            if fresh < floor:
+                print(f"INGEST PERF REGRESSION: {fresh:,.0f} jobs/s is "
+                      f"below {args.ingest_fail_below_ratio:.0%} of the "
+                      f"committed {committed_ingest:,.0f} jobs/s",
+                      file=sys.stderr)
+                return 1
+            print(f"[ingest gate ok: {fresh:,.0f} >= "
+                  f"{args.ingest_fail_below_ratio:.0%} of "
+                  f"{committed_ingest:,.0f} jobs/s]")
     if args.max_obs_overhead_factor is not None:
         gated = [("obs", report["obs_bench"]["overhead_factor"])]
         if "sampler_bench" in report:

@@ -121,6 +121,15 @@ class Cluster:
         """Subscribe to node state changes (currently completions)."""
         self._node_listeners.append(listener)
 
+    def remove_node_changed_listener(self, listener: NodeListener) -> None:
+        """Unsubscribe a node-change listener (checkpoint forks retire
+        the old policy's listener so it stops reacting); unknown
+        listeners are ignored."""
+        try:
+            self._node_listeners.remove(listener)
+        except ValueError:
+            pass
+
     def _job_finished(self, job: Job, node: Workstation) -> None:
         self.finished_jobs.append(job)
         for listener in self._job_listeners:

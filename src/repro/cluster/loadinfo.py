@@ -39,6 +39,7 @@ views.  The orders reproduce exactly what sorting a fresh
 
 from __future__ import annotations
 
+import functools
 from bisect import bisect_left, insort
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, Iterable, List, Optional, Set, Tuple
@@ -221,7 +222,8 @@ class LoadInfoDirectory:
                 if action == "delay":
                     snap = self._snapshot_of(node)
                     self._sim.schedule(
-                        delay_s, lambda s=snap: self._apply_delayed(s),
+                        delay_s,
+                        functools.partial(self._apply_delayed, snap),
                         priority=2, daemon=True)
                     delayed += 1
                     continue

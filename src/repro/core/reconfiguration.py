@@ -36,6 +36,7 @@ Mapping to this event-driven implementation:
 
 from __future__ import annotations
 
+import functools
 from typing import Optional
 
 from repro.cluster.cluster import Cluster
@@ -311,10 +312,28 @@ class VReconfiguration(GLoadSharing):
             self.stats.extra.get("reconfiguration_migrations", 0) + 1)
         self.migrate(
             job, source, reservation.node,
-            on_arrival=lambda j: self.reservations.job_arrived(
-                reservation, j),
-            on_abandoned=lambda j: self.reservations.migration_abandoned(
-                reservation, j))
+            on_arrival=functools.partial(
+                self.reservations.job_arrived, reservation),
+            on_abandoned=functools.partial(
+                self.reservations.migration_abandoned, reservation))
+
+    # ------------------------------------------------------------------
+    # checkpoint fork support
+    # ------------------------------------------------------------------
+    def retire(self) -> None:
+        """On top of the base retirement, wind the reservation machinery
+        down: reserving periods that have not served yet are cancelled
+        (their nodes return to normal load sharing for the successor),
+        and the ready hook is detached so a drain completing later
+        cannot trigger a migration by the retired policy.  SERVING
+        reservations keep draining their already-migrated jobs — that
+        work is physically on the reserved node — and release normally
+        through the manager's job-finished listener."""
+        super().retire()
+        self.reservations.on_ready = None
+        for reservation in list(self.reservations.active_reservations):
+            if reservation.state is ReservationState.RESERVING:
+                self.reservations.cancel(reservation)
 
     # ------------------------------------------------------------------
     # diagnostics

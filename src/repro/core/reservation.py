@@ -26,6 +26,7 @@ within a predetermined interval the cluster is truly heavily loaded).
 from __future__ import annotations
 
 import enum
+import functools
 import itertools
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set
@@ -177,7 +178,7 @@ class ReservationManager:
         if self.reserve_timeout_s > 0:
             self.cluster.sim.schedule(
                 self.reserve_timeout_s,
-                lambda: self._timeout(reservation), daemon=True)
+                functools.partial(self._timeout, reservation), daemon=True)
         # An idle node is ready immediately (zero-length reserving period).
         if reservation.ready():
             self._mark_ready(reservation)

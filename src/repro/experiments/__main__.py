@@ -16,6 +16,7 @@ Usage::
     python -m repro.experiments scenario --trace-out scenario.trace.json
     python -m repro.experiments degradation --scale 0.25 --jobs 0
     python -m repro.experiments scenario --faults --mtbf 600
+    python -m repro.experiments whatif --whatif-at 300 --report whatif.html
 """
 
 from __future__ import annotations
@@ -48,10 +49,10 @@ from repro.workload.programs import WorkloadGroup
 
 TARGETS = (["table1", "table2"] + sorted(ALL_FIGURES)
            + ["scenario", "heterogeneity", "ablations", "degradation",
-              "topology"])
+              "topology", "whatif"])
 
 #: Targets that accept the shared fault-injection flags.
-FAULT_TARGETS = ("scenario", "degradation")
+FAULT_TARGETS = ("scenario", "degradation", "whatif")
 
 
 def _run_scenario(obs_session=None, trace_out=None, log_json=None,
@@ -210,6 +211,19 @@ def main(argv: List[str] = None) -> int:
                         choices=["requeue", "checkpoint"],
                         help="fate of jobs on a crashed node "
                              "(default requeue)")
+    parser.add_argument("--whatif-at", type=float, default=None,
+                        metavar="T",
+                        help="simulated time at which the whatif "
+                             "target snapshots its base run and "
+                             "branches (default 300)")
+    parser.add_argument("--whatif-base", default=None, metavar="POLICY",
+                        help="policy of the whatif target's base run "
+                             "(default g-loadsharing)")
+    parser.add_argument("--whatif-checkpoint", default=None,
+                        metavar="PATH",
+                        help="keep the whatif target's snapshot file "
+                             "at PATH (restorable with the runner's "
+                             "--restore-from)")
     args = parser.parse_args(argv)
 
     targets = list(args.targets)
@@ -264,14 +278,23 @@ def main(argv: List[str] = None) -> int:
         parser.error("--pace must be >= 0")
     report_targets = [t for t in targets if t in ("scenario",
                                                   "degradation",
-                                                  "topology")]
+                                                  "topology",
+                                                  "whatif")]
     if args.report and len(report_targets) != 1:
         parser.error("--report needs exactly one of the scenario, "
-                     "degradation, or topology targets")
-    if args.sample_period is not None and not report_targets:
+                     "degradation, topology, or whatif targets")
+    sample_targets = [t for t in targets if t in ("scenario",
+                                                  "degradation",
+                                                  "topology")]
+    if args.sample_period is not None and not sample_targets:
         parser.error("--sample-period applies to the scenario, "
                      "degradation, and topology targets; add one of "
                      "them")
+    if (args.whatif_at is not None or args.whatif_base
+            or args.whatif_checkpoint) and "whatif" not in targets:
+        parser.error("--whatif-at/--whatif-base/--whatif-checkpoint "
+                     "apply to the whatif target; add 'whatif' to the "
+                     "targets")
     faults = build_fault_config(args)
     if faults is not None and not any(t in FAULT_TARGETS for t in targets):
         parser.error("fault flags apply to the scenario and degradation "
@@ -352,6 +375,22 @@ def main(argv: List[str] = None) -> int:
                 lifecycle=bool(args.report),
                 sample_period=args.sample_period)
             print(report.render())
+            if args.report:
+                report.write_report(args.report)
+                print(f"[wrote HTML comparison report {args.report}]")
+        elif target == "whatif":
+            from repro.experiments.whatif import (DEFAULT_BRANCH_AT,
+                                                  run_whatif_experiment)
+            report = run_whatif_experiment(
+                seed=args.seed,
+                branch_at=(args.whatif_at if args.whatif_at is not None
+                           else DEFAULT_BRANCH_AT),
+                base_policy=args.whatif_base or "g-loadsharing",
+                faults=faults,
+                checkpoint_path=args.whatif_checkpoint)
+            print(report.render())
+            if args.whatif_checkpoint:
+                print(f"[kept snapshot {args.whatif_checkpoint}]")
             if args.report:
                 report.write_report(args.report)
                 print(f"[wrote HTML comparison report {args.report}]")

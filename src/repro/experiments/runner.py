@@ -9,6 +9,7 @@ full-scale runs reproduce the paper's configuration exactly.
 
 from __future__ import annotations
 
+import functools
 import warnings
 from contextlib import nullcontext
 from dataclasses import dataclass
@@ -18,7 +19,7 @@ from repro.cluster.cluster import Cluster
 from repro.cluster.config import APP_CLUSTER, SPEC_CLUSTER, ClusterConfig
 from repro.core.reconfiguration import VReconfiguration
 from repro.faults.config import FaultConfig
-from repro.metrics.collector import MetricsCollector
+from repro.metrics.collector import MetricsCollector, PolicyPendingProbe
 from repro.metrics.summary import RunSummary, summarize_run
 from repro.obs.session import ObsSession
 from repro.scheduling import (
@@ -121,29 +122,49 @@ def subsample_trace(trace: Trace, scale: float) -> Trace:
 def run_trace(trace: Trace, policy_name: str,
               config: ClusterConfig,
               policy_kwargs: Optional[dict] = None,
-              obs: Optional[ObsSession] = None) -> ExperimentResult:
+              obs: Optional[ObsSession] = None,
+              checkpoint_at: Optional[float] = None,
+              checkpoint_to: Optional[str] = None) -> ExperimentResult:
     """Replay ``trace`` on a fresh cluster under ``policy_name``.
 
     ``obs`` attaches an observability session to the run: structured
     events, metrics (merged into ``summary.extra`` under ``obs.``),
     and per-phase wall times.  With ``obs=None`` (the default) every
     emit site stays a single disabled-bool check.
+
+    ``checkpoint_at`` pauses the engine at that simulated time, writes
+    a restorable snapshot to ``checkpoint_to`` (see
+    :mod:`repro.sim.checkpoint`), and continues the run to completion —
+    the written snapshot resumes byte-identically to the uninterrupted
+    remainder.
     """
     if policy_name not in POLICIES:
         raise KeyError(f"unknown policy {policy_name!r}; "
                        f"choose from {sorted(POLICIES)}")
+    if (checkpoint_at is None) != (checkpoint_to is None):
+        raise ValueError("checkpoint_at and checkpoint_to go together")
     phase = obs.phase if obs is not None else (lambda name: nullcontext())
     cluster = Cluster(config)
     policy = POLICIES[policy_name](cluster, **(policy_kwargs or {}))
     collector = MetricsCollector(
-        cluster, pending_probe=lambda: policy.pending_count)
+        cluster, pending_probe=PolicyPendingProbe(policy))
     if obs is not None:
         obs.attach(cluster, policy=policy)
     with phase("build_jobs"):
         jobs = trace.build_jobs()
     for job in jobs:
         cluster.sim.schedule_at(job.submit_time,
-                                lambda job=job: policy.submit(job))
+                                functools.partial(policy.submit, job))
+    if obs is not None:
+        obs.bind_run(collector=collector, jobs=jobs, trace_name=trace.name)
+    if checkpoint_at is not None:
+        from repro.sim.checkpoint import save_checkpoint
+
+        with phase("checkpoint"):
+            cluster.sim.run(until=checkpoint_at)
+            save_checkpoint(checkpoint_to, cluster=cluster, policy=policy,
+                            collector=collector, jobs=jobs,
+                            trace_name=trace.name)
     with phase("simulate"):
         if obs is not None:
             # Routes through the session's live-telemetry wrappers
@@ -171,7 +192,9 @@ def run_experiment(group: WorkloadGroup, trace_index: int,
                    policy_kwargs: Optional[dict] = None,
                    nodes: Optional[int] = None,
                    obs: Optional[ObsSession] = None,
-                   faults: Optional[FaultConfig] = None
+                   faults: Optional[FaultConfig] = None,
+                   checkpoint_at: Optional[float] = None,
+                   checkpoint_to: Optional[str] = None
                    ) -> ExperimentResult:
     """Generate the published trace and run it under ``policy``.
 
@@ -179,6 +202,8 @@ def run_experiment(group: WorkloadGroup, trace_index: int,
     that topology, so home-node placement stays uniform).  ``obs``
     instruments the run (see :func:`run_trace`).  ``faults`` overrides
     the config's failure model (see :mod:`repro.faults`).
+    ``checkpoint_at``/``checkpoint_to`` snapshot the run mid-flight
+    (see :func:`run_trace`).
     """
     cfg = config if config is not None else default_config(group)
     if nodes is not None:
@@ -190,7 +215,9 @@ def run_experiment(group: WorkloadGroup, trace_index: int,
         trace = build_trace(group, trace_index, seed=seed,
                             num_nodes=cfg.num_nodes)
         trace = subsample_trace(trace, scale)
-    return run_trace(trace, policy, cfg, policy_kwargs, obs=obs)
+    return run_trace(trace, policy, cfg, policy_kwargs, obs=obs,
+                     checkpoint_at=checkpoint_at,
+                     checkpoint_to=checkpoint_to)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -320,6 +347,24 @@ def main(argv: Optional[List[str]] = None) -> int:
                         help="write the run summary as CSV")
     parser.add_argument("--export-json", metavar="PATH", default=None,
                         help="write the run summary as JSON")
+    parser.add_argument("--checkpoint-at", type=float, default=None,
+                        metavar="T",
+                        help="pause at simulated time T, write a "
+                             "restorable snapshot to --checkpoint-to, "
+                             "then continue to completion")
+    parser.add_argument("--checkpoint-to", metavar="PATH", default=None,
+                        help="checkpoint file path (required with "
+                             "--checkpoint-at)")
+    parser.add_argument("--restore-from", metavar="PATH", default=None,
+                        help="restore a checkpoint instead of building "
+                             "a trace, and run it to completion "
+                             "(byte-identical to the uninterrupted "
+                             "run; workload flags are ignored)")
+    parser.add_argument("--submit-stdin", action="store_true",
+                        help="admit JSONL job specs from stdin into "
+                             "the live run until EOF (requires "
+                             "--serve; the run stays alive while "
+                             "stdin is open)")
     args = parser.parse_args(argv)
 
     group = (WorkloadGroup.SPEC if args.group == "spec"
@@ -347,8 +392,15 @@ def main(argv: Optional[List[str]] = None) -> int:
             parser.error("--pace requires --serve")
         if args.serve_port_file:
             parser.error("--serve-port-file requires --serve")
+        if args.submit_stdin:
+            parser.error("--submit-stdin requires --serve")
     if args.pace < 0:
         parser.error("--pace must be >= 0")
+    if (args.checkpoint_at is None) != (args.checkpoint_to is None):
+        parser.error("--checkpoint-at and --checkpoint-to go together")
+    if args.restore_from is not None and args.checkpoint_at is not None:
+        parser.error("--restore-from cannot be combined with "
+                     "--checkpoint-at")
     want_obs = (args.obs or args.trace_out or args.log_json
                 or args.obs_metrics or args.prom or args.report
                 or args.sample_period is not None
@@ -371,12 +423,31 @@ def main(argv: Optional[List[str]] = None) -> int:
                          serve=args.serve,
                          serve_port_file=args.serve_port_file,
                          pace=args.pace,
-                         profile=args.self_profile)
+                         profile=args.self_profile,
+                         ingest_stdin=args.submit_stdin)
+        # Killed service runs (systemd stop, supervisor timeouts) must
+        # still unwind atexit handlers so the streaming JSONL log
+        # closes at a line boundary; SIGTERM's default handler would
+        # skip them.  Only the main thread may install this.
+        import signal
+        import sys as _sys
+        try:
+            signal.signal(signal.SIGTERM,
+                          lambda signum, frame: _sys.exit(143))
+        except ValueError:  # pragma: no cover - non-main thread
+            pass
 
     def run() -> ExperimentResult:
+        if args.restore_from is not None:
+            from repro.sim.checkpoint import load_checkpoint, resume
+
+            restored = load_checkpoint(args.restore_from)
+            return resume(restored, obs=obs)
         return run_experiment(group, args.trace, policy=args.policy,
                               seed=args.seed, scale=args.scale,
-                              config=config, obs=obs)
+                              config=config, obs=obs,
+                              checkpoint_at=args.checkpoint_at,
+                              checkpoint_to=args.checkpoint_to)
 
     if args.profile:
         import cProfile
@@ -393,7 +464,7 @@ def main(argv: Optional[List[str]] = None) -> int:
     summary = result.summary
     events = result.cluster.sim.event_count
     print(f"{summary.policy} on {summary.trace}: "
-          f"{summary.num_jobs} jobs over {config.num_nodes} nodes, "
+          f"{summary.num_jobs} jobs over {result.cluster.num_nodes} nodes, "
           f"makespan {summary.makespan_s:.1f}s, "
           f"avg slowdown {summary.average_slowdown:.2f}, "
           f"{summary.migrations} migrations, {events} events")

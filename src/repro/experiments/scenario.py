@@ -113,6 +113,8 @@ def run_blocking_scenario(policy: str, seed: int = 0,
                           config: Optional[ClusterConfig] = None,
                           obs=None,
                           faults=None,
+                          checkpoint_at: Optional[float] = None,
+                          checkpoint_to: Optional[str] = None,
                           **trace_kwargs) -> ExperimentResult:
     """Run the constructed scenario batch under ``policy``.
 
@@ -120,14 +122,21 @@ def run_blocking_scenario(policy: str, seed: int = 0,
     scenario is the canonical source of a reservation-bearing Perfetto
     trace because its V-Reconfiguration run deterministically reserves
     and rescues (see module docstring).  ``faults`` overrides the
-    config's failure model (see :mod:`repro.faults`).
+    config's failure model (see :mod:`repro.faults`).  ``num_nodes``
+    sizes the cluster when no explicit ``config`` is given (a given
+    ``config`` wins outright — its own ``num_nodes`` sizes both the
+    cluster and the trace).  ``checkpoint_at``/``checkpoint_to`` are
+    forwarded to :func:`~repro.experiments.runner.run_trace`.
     """
-    cfg = config if config is not None else SCENARIO_CLUSTER.replace()
+    cfg = (config if config is not None
+           else SCENARIO_CLUSTER.replace(num_nodes=num_nodes))
     if faults is not None:
         cfg = cfg.replace(faults=faults)
     trace = build_blocking_trace(num_nodes=cfg.num_nodes, seed=seed,
                                  **trace_kwargs)
-    return run_trace(trace, policy, cfg, obs=obs)
+    return run_trace(trace, policy, cfg, obs=obs,
+                     checkpoint_at=checkpoint_at,
+                     checkpoint_to=checkpoint_to)
 
 
 def large_job_slowdowns(result: ExperimentResult) -> List[float]:

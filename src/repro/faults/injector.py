@@ -33,6 +33,7 @@ stranded in the pending queue.
 
 from __future__ import annotations
 
+import functools
 from typing import TYPE_CHECKING, Dict, Optional, Tuple
 
 from repro.faults.config import FaultConfig, NodeOutage
@@ -73,8 +74,7 @@ class FaultInjector:
                         f"cluster has {cluster.num_nodes} nodes")
                 self.sim.schedule_at(
                     outage.start_s,
-                    lambda o=outage: self._on_crash(
-                        self.cluster.nodes[o.node_id], outage=o),
+                    functools.partial(self._crash_outage, outage),
                     priority=1, daemon=True)
         elif config.mtbf_s is not None:
             for node in cluster.nodes:
@@ -88,8 +88,12 @@ class FaultInjector:
 
     def _schedule_crash(self, node: "Workstation") -> None:
         delay = self._node_rng(node).expovariate(1.0 / self.config.mtbf_s)
-        self.sim.schedule(delay, lambda: self._on_crash(node),
+        self.sim.schedule(delay, functools.partial(self._on_crash, node),
                           priority=1, daemon=True)
+
+    def _crash_outage(self, outage: NodeOutage) -> None:
+        """Planned-outage crash event (picklable partial target)."""
+        self._on_crash(self.cluster.nodes[outage.node_id], outage=outage)
 
     def _on_crash(self, node: "Workstation",
                   outage: Optional[NodeOutage] = None) -> None:
@@ -124,12 +128,14 @@ class FaultInjector:
                 self.policy.requeue_lost_jobs(node, lost)
         if outage is not None:
             if outage.end_s is not None:
-                self.sim.schedule_at(outage.end_s,
-                                     lambda: self._on_recovery(node))
+                self.sim.schedule_at(
+                    outage.end_s,
+                    functools.partial(self._on_recovery, node))
         else:
             downtime = self._node_rng(node).expovariate(
                 1.0 / self.config.mttr_s)
-            self.sim.schedule(downtime, lambda: self._on_recovery(node))
+            self.sim.schedule(downtime,
+                              functools.partial(self._on_recovery, node))
 
     def _on_recovery(self, node: "Workstation") -> None:
         if node.alive:  # pragma: no cover - schedules never overlap

@@ -69,6 +69,21 @@ def _skew_of(jobs_per_node: Tuple[Optional[int], ...]) -> float:
     return math.sqrt(sum((c - mean) ** 2 for c in counts) / len(counts))
 
 
+class PolicyPendingProbe:
+    """Picklable pending-queue probe: ``probe()`` returns the policy's
+    current pending count.  Used instead of a lambda so a collector
+    wired to a policy can cross a checkpoint boundary; forks repoint
+    :attr:`policy` at the successor."""
+
+    __slots__ = ("policy",)
+
+    def __init__(self, policy):
+        self.policy = policy
+
+    def __call__(self) -> int:
+        return self.policy.pending_count
+
+
 class MetricsCollector:
     """Samples cluster state every ``sample_interval_s`` seconds."""
 

@@ -88,6 +88,20 @@ class ObsEvent(NamedTuple):
 Subscriber = Callable[[ObsEvent], None]
 
 
+def _null_channel() -> "Channel":
+    """Pickle constructor preserving the :data:`NULL_CHANNEL` singleton
+    (components compare against it by identity)."""
+    return NULL_CHANNEL
+
+
+def _restore_channel(name: str) -> "Channel":
+    """Pickle constructor for a named channel: restored *disabled* and
+    subscriber-free.  Observers (sessions, recorders) are process-local
+    and are never part of a checkpoint; a restored run re-attaches a
+    fresh :class:`~repro.obs.session.ObsSession` if it wants one."""
+    return Channel(name)
+
+
 class Channel:
     """One named event stream.
 
@@ -141,6 +155,20 @@ class Channel:
             for subscriber in broken:
                 if subscriber in self._subscribers:
                     self.unsubscribe(subscriber)
+
+    def __reduce__(self):
+        """Checkpoint support: channels pickle as (name) only.
+
+        Subscribers are live observer callables (obs sessions, stream
+        writers) that must not cross a checkpoint boundary, so the
+        restored channel comes back disabled and empty.  Pickle's memo
+        keeps identity: every component that cached this channel object
+        sees the *same* restored object, and the shared
+        :data:`NULL_CHANNEL` stays a process-wide singleton.
+        """
+        if self is NULL_CHANNEL:
+            return (_null_channel, ())
+        return (_restore_channel, (self.name,))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "on" if self.enabled else "off"

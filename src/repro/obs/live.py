@@ -18,7 +18,24 @@ Endpoints:
   cumulative totals, quantile sketches, staleness, sim lag);
 * ``GET /dashboard`` (and ``/``) — a self-refreshing, self-contained
   inline-SVG page built from the same components as the batch HTML
-  reports.
+  reports;
+* ``POST /submit`` — streaming job ingest: a JSON object, JSON array,
+  or JSONL body of job specs (``program``, ``lifetime_s``,
+  ``peak_demand_mb``, ``home_node``, optional ``submit_time``,
+  ``io_stall_per_cpu_s``, ``buffer_cache_mb``, ``memory_phases``);
+  valid specs are queued and the engine admits them at the next slice
+  boundary (``202``); any invalid spec rejects the whole batch
+  (``400``);
+* ``POST /checkpoint`` — snapshot the live run (see
+  :mod:`repro.sim.checkpoint`): with a ``{"path": ...}`` body the
+  engine writes the file and the response carries the checkpoint
+  meta; without one the response body *is* the checkpoint
+  (``application/octet-stream``);
+* ``POST /fork`` — what-if replay: ``{"policy": ..., "policy_kwargs":
+  {...}}`` snapshots the live run, restores an independent copy on
+  the handler thread, swaps in the requested policy and runs it to
+  completion, answering with that universe's run summary.  The live
+  run is paused only for the snapshot.
 
 Threading model — the invariant that keeps this safe without slowing
 the engine: **HTTP handler threads never touch live state.**  The
@@ -26,6 +43,21 @@ engine thread *publishes* fully rendered, immutable payload bytes
 under a lock at every slice boundary; handlers only read the latest
 published payloads.  Staleness is bounded by the slice width and the
 engine never blocks on a scrape.
+
+The write endpoints keep the same invariant from the other side:
+handler threads only *validate primitives and enqueue*.  Job
+construction (which allocates ids from a process-global counter) and
+world serialization happen on the engine thread at slice boundaries;
+``/checkpoint`` hands the engine a request-plus-event and waits for
+the engine to service it (``503`` if the engine never reaches a
+boundary within the timeout).  ``/fork`` restores its copy with
+``advance_counters=False`` so the throwaway universe cannot disturb
+the id space of the run still executing.
+
+Streaming ingest sources (``--submit-stdin``, long-lived service
+mode) can place a *hold* on the drive loop: with a hold active the
+loop idles at wall pace when the simulation runs dry instead of
+exiting, so jobs arriving later still find a live engine.
 
 Pacing: ``pace`` is simulated seconds per wall second.  ``pace=0``
 runs the engine as fast as possible (publishing between slices);
@@ -37,12 +69,13 @@ registry, where a health rule can watch it.
 
 from __future__ import annotations
 
+import functools
 import json
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from io import StringIO
-from typing import TYPE_CHECKING, Callable, Dict, Optional, Tuple
+from typing import (TYPE_CHECKING, Callable, Dict, List, Optional, Tuple)
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.obs.session import ObsSession
@@ -51,8 +84,97 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard
 #: Wall-clock width of one paced engine slice.
 SLICE_WALL_S = 0.25
 
+#: Wall seconds a control request (``/checkpoint``, ``/fork``) waits
+#: for the engine to reach a slice boundary before answering 503.
+CONTROL_TIMEOUT_S = 10.0
+
 #: One published payload: (body bytes, content type, HTTP status).
 Payload = Tuple[bytes, str, int]
+
+#: Keys a ``/submit`` job spec may carry (anything else is rejected —
+#: silent typos would otherwise become silently-default jobs).
+_SPEC_KEYS = frozenset({
+    "program", "lifetime_s", "peak_demand_mb", "home_node",
+    "submit_time", "io_stall_per_cpu_s", "buffer_cache_mb",
+    "memory_phases",
+})
+
+
+def validate_job_spec(spec, num_nodes: int) -> Optional[str]:
+    """Validate one raw ``/submit`` job spec (primitives only — safe
+    on any thread).  Returns an error string, or None when valid."""
+    if not isinstance(spec, dict):
+        return f"job spec must be an object, got {type(spec).__name__}"
+    unknown = set(spec) - _SPEC_KEYS
+    if unknown:
+        return f"unknown job spec keys: {sorted(unknown)}"
+    for key in ("program", "lifetime_s", "peak_demand_mb", "home_node"):
+        if key not in spec:
+            return f"job spec missing required key {key!r}"
+    if not isinstance(spec["program"], str) or not spec["program"]:
+        return "program must be a non-empty string"
+    lifetime = spec["lifetime_s"]
+    if not isinstance(lifetime, (int, float)) or lifetime <= 0:
+        return f"lifetime_s must be a positive number: {lifetime!r}"
+    peak = spec["peak_demand_mb"]
+    if not isinstance(peak, (int, float)) or peak < 0:
+        return f"peak_demand_mb must be a non-negative number: {peak!r}"
+    home = spec["home_node"]
+    if not isinstance(home, int) or isinstance(home, bool) \
+            or not 0 <= home < num_nodes:
+        return (f"home_node must be an integer in [0, {num_nodes}): "
+                f"{home!r}")
+    for key in ("submit_time", "io_stall_per_cpu_s", "buffer_cache_mb"):
+        if key in spec:
+            value = spec[key]
+            if not isinstance(value, (int, float)) or value < 0:
+                return f"{key} must be a non-negative number: {value!r}"
+    phases = spec.get("memory_phases")
+    if phases is not None:
+        if not isinstance(phases, list) or not phases:
+            return "memory_phases must be a non-empty array"
+        for pair in phases:
+            if (not isinstance(pair, (list, tuple)) or len(pair) != 2
+                    or not all(isinstance(v, (int, float)) and v >= 0
+                               for v in pair)):
+                return (f"memory_phases entries must be "
+                        f"[progress_s, demand_mb] pairs: {pair!r}")
+    return None
+
+
+def _job_from_spec(spec: dict, now: float):
+    """Materialize a validated spec into a runnable Job.  Engine
+    thread only: ``Job()`` allocates a process-global id.  Requested
+    submit times in the past clamp to ``now`` (the admission instant)
+    so streamed jobs cannot claim queueing delay they never saw."""
+    from repro.cluster.job import Job, MemoryProfile
+
+    peak = float(spec["peak_demand_mb"])
+    phases = spec.get("memory_phases")
+    profile = (MemoryProfile.from_pairs([(float(p), float(d))
+                                         for p, d in phases])
+               if phases else MemoryProfile.constant(peak))
+    return Job(
+        program=spec["program"],
+        cpu_work_s=float(spec["lifetime_s"]),
+        memory=profile,
+        submit_time=max(float(spec.get("submit_time", now)), now),
+        home_node=spec["home_node"],
+        io_stall_per_cpu_s=float(spec.get("io_stall_per_cpu_s", 0.0)),
+        buffer_cache_mb=float(spec.get("buffer_cache_mb", 0.0)),
+    )
+
+
+class _ControlRequest:
+    """A handler-thread request serviced by the engine thread at the
+    next slice boundary (currently: snapshot the world)."""
+
+    __slots__ = ("done", "result", "error")
+
+    def __init__(self):
+        self.done = threading.Event()
+        self.result: Optional[bytes] = None
+        self.error: Optional[str] = None
 
 
 class _LiveHandler(BaseHTTPRequestHandler):
@@ -78,6 +200,34 @@ class _LiveHandler(BaseHTTPRequestHandler):
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
         self.send_header("Cache-Control", "no-store")
+        self.end_headers()
+        self.wfile.write(body)
+        monitor.requests_served += 1
+
+    # ------------------------------------------------------------------
+    # write endpoints (validate + enqueue only; engine does the work)
+    # ------------------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        monitor: "LiveMonitor" = self.server.monitor  # type: ignore
+        path = self.path.split("?", 1)[0].rstrip("/")
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = 0
+        raw = self.rfile.read(length) if length else b""
+        if path == "/submit":
+            body, content_type, status = monitor.handle_submit(raw)
+        elif path == "/checkpoint":
+            body, content_type, status = monitor.handle_checkpoint(raw)
+        elif path == "/fork":
+            body, content_type, status = monitor.handle_fork(raw)
+        else:
+            body = (b"not found; POST endpoints: /submit /checkpoint "
+                    b"/fork\n")
+            content_type, status = "text/plain; charset=utf-8", 404
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
         self.end_headers()
         self.wfile.write(body)
         monitor.requests_served += 1
@@ -109,6 +259,18 @@ class LiveMonitor:
         self._thread: Optional[threading.Thread] = None
         self._lock = threading.Lock()
         self._payloads: Dict[str, Payload] = {}
+        # Streaming-ingest plane: raw validated specs queued by any
+        # thread, admitted by the engine thread at slice boundaries.
+        self._ingest_lock = threading.Lock()
+        self._ingest_queue: List[dict] = []
+        self._ingest_holds = 0
+        self.jobs_received = 0
+        self.jobs_admitted = 0
+        self.jobs_rejected = 0
+        # Control plane (/checkpoint, /fork): requests the engine
+        # services between slices.
+        self._control_lock = threading.Lock()
+        self._control_queue: List[_ControlRequest] = []
 
     # ------------------------------------------------------------------
     # server lifecycle
@@ -142,6 +304,246 @@ class LiveMonitor:
         return f"http://127.0.0.1:{self.port}"
 
     # ------------------------------------------------------------------
+    # streaming ingest (enqueue from any thread; admit on engine)
+    # ------------------------------------------------------------------
+    @property
+    def _world_bound(self) -> bool:
+        """The session knows the run's policy and job list (the
+        runner's ``bind_run``) — prerequisite of every write
+        endpoint."""
+        session = self.session
+        return (session.cluster is not None and session.policy is not None
+                and session.jobs is not None)
+
+    def enqueue_jobs(self, specs) -> Tuple[int, List[str]]:
+        """Validate raw job specs and queue the valid ones for
+        admission.  All-or-nothing: one invalid spec rejects the whole
+        batch (a partially admitted batch is harder to reason about
+        than a resubmitted one).  Returns ``(accepted, errors)``."""
+        specs = list(specs)
+        num_nodes = self.session.cluster.config.num_nodes
+        errors = []
+        for index, spec in enumerate(specs):
+            problem = validate_job_spec(spec, num_nodes)
+            if problem is not None:
+                errors.append(f"job[{index}]: {problem}")
+        with self._ingest_lock:
+            self.jobs_received += len(specs)
+            if errors:
+                self.jobs_rejected += len(specs)
+                return 0, errors
+            self._ingest_queue.extend(specs)
+        return len(specs), []
+
+    def add_ingest_hold(self) -> None:
+        """Keep the drive loop alive while an ingest source (stdin
+        reader, service supervisor) may still produce jobs."""
+        with self._ingest_lock:
+            self._ingest_holds += 1
+
+    def release_ingest_hold(self) -> None:
+        with self._ingest_lock:
+            self._ingest_holds = max(0, self._ingest_holds - 1)
+
+    def ingest_stdin(self) -> threading.Thread:
+        """Admit JSONL job specs from stdin (one spec — or array of
+        specs — per line) until EOF; holds the drive loop open for the
+        stream's lifetime."""
+        import sys
+
+        self.add_ingest_hold()
+
+        def reader() -> None:
+            try:
+                for line in sys.stdin:
+                    line = line.strip()
+                    if not line:
+                        continue
+                    try:
+                        parsed = json.loads(line)
+                    except ValueError:
+                        with self._ingest_lock:
+                            self.jobs_received += 1
+                            self.jobs_rejected += 1
+                        print("[ingest] rejected stdin line: not JSON",
+                              file=sys.stderr)
+                        continue
+                    _, errors = self.enqueue_jobs(
+                        parsed if isinstance(parsed, list) else [parsed])
+                    for problem in errors:
+                        print(f"[ingest] rejected stdin spec: {problem}",
+                              file=sys.stderr)
+            finally:
+                self.release_ingest_hold()
+
+        thread = threading.Thread(target=reader, name="repro-ingest-stdin",
+                                  daemon=True)
+        thread.start()
+        return thread
+
+    def _admit_ingest(self, sim: "Simulator") -> int:
+        """Engine thread: build Jobs from queued specs and schedule
+        their submissions.  Runs between slices, so admission order —
+        and therefore job-id assignment — is single-threaded and
+        deterministic given the same arrival interleaving."""
+        with self._ingest_lock:
+            if not self._ingest_queue:
+                return 0
+            batch, self._ingest_queue = self._ingest_queue, []
+        session = self.session
+        for spec in batch:
+            job = _job_from_spec(spec, sim.now)
+            session.jobs.append(job)
+            sim.schedule_at(job.submit_time,
+                            functools.partial(session.policy.submit, job))
+        with self._ingest_lock:
+            self.jobs_admitted += len(batch)
+        return len(batch)
+
+    # ------------------------------------------------------------------
+    # control plane (/checkpoint, /fork)
+    # ------------------------------------------------------------------
+    def _request_snapshot(self) -> Tuple[Optional[bytes], str, int]:
+        """Handler thread: ask the engine for a world snapshot and
+        wait.  Returns ``(bytes, error, status)``."""
+        if not self._world_bound:
+            return (None, "run world not bound (no policy/job list); "
+                    "checkpointing needs the experiment runner's "
+                    "bind_run", 503)
+        request = _ControlRequest()
+        with self._control_lock:
+            self._control_queue.append(request)
+        if not request.done.wait(CONTROL_TIMEOUT_S):
+            return (None, "engine did not reach a slice boundary in "
+                    f"{CONTROL_TIMEOUT_S:.0f}s", 503)
+        if request.error is not None:
+            return None, request.error, 500
+        return request.result, "", 200
+
+    def _service_control(self, sim: "Simulator") -> None:
+        """Engine thread: serve queued snapshot requests while the
+        simulation is paused at a slice boundary."""
+        with self._control_lock:
+            if not self._control_queue:
+                return
+            requests, self._control_queue = self._control_queue, []
+        from repro.sim.checkpoint import snapshot_bytes
+        session = self.session
+        for request in requests:
+            try:
+                request.result = snapshot_bytes(
+                    cluster=session.cluster, policy=session.policy,
+                    collector=session.collector, jobs=session.jobs,
+                    trace_name=session.trace_name or session.run_label)
+            except Exception as exc:  # noqa: BLE001 - report to caller
+                request.error = f"snapshot failed: {exc}"
+            request.done.set()
+
+    # ------------------------------------------------------------------
+    # POST endpoint bodies (handler threads)
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _json_payload(obj, status: int) -> Payload:
+        return ((json.dumps(obj, indent=2, sort_keys=True) + "\n")
+                .encode("utf-8"), "application/json", status)
+
+    def handle_submit(self, raw: bytes) -> Payload:
+        if not self._world_bound:
+            return self._json_payload(
+                {"error": "run world not bound; job ingest needs the "
+                          "experiment runner's bind_run"}, 503)
+        try:
+            text = raw.decode("utf-8")
+        except UnicodeDecodeError:
+            return self._json_payload({"error": "body is not UTF-8"}, 400)
+        specs: List[dict] = []
+        try:
+            parsed = json.loads(text)
+            specs = parsed if isinstance(parsed, list) else [parsed]
+        except ValueError:
+            # JSONL fallback: one spec per line.
+            for line in text.splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    specs.append(json.loads(line))
+                except ValueError:
+                    return self._json_payload(
+                        {"error": f"undecodable JSONL line: {line[:80]!r}"},
+                        400)
+        if not specs:
+            return self._json_payload({"error": "no job specs in body"}, 400)
+        accepted, errors = self.enqueue_jobs(specs)
+        if errors:
+            return self._json_payload(
+                {"error": "invalid job specs", "details": errors}, 400)
+        return self._json_payload({"accepted": accepted}, 202)
+
+    def handle_checkpoint(self, raw: bytes) -> Payload:
+        path = None
+        if raw.strip():
+            try:
+                body = json.loads(raw.decode("utf-8"))
+                path = body.get("path")
+            except (ValueError, UnicodeDecodeError, AttributeError):
+                return self._json_payload(
+                    {"error": "body must be empty or a JSON object "
+                              "with an optional 'path'"}, 400)
+        data, error, status = self._request_snapshot()
+        if data is None:
+            return self._json_payload({"error": error}, status)
+        if path is None:
+            return data, "application/octet-stream", 200
+        from repro.sim.checkpoint import _decode_envelope
+        meta = _decode_envelope(data)["meta"]
+        try:
+            with open(path, "wb") as stream:
+                stream.write(data)
+        except OSError as exc:
+            return self._json_payload(
+                {"error": f"cannot write {path!r}: {exc}"}, 500)
+        return self._json_payload(
+            {"path": path, "bytes": len(data), "meta": meta}, 200)
+
+    def handle_fork(self, raw: bytes) -> Payload:
+        try:
+            body = json.loads(raw.decode("utf-8")) if raw.strip() else {}
+        except (ValueError, UnicodeDecodeError):
+            return self._json_payload({"error": "body must be JSON"}, 400)
+        if not isinstance(body, dict) or not body.get("policy"):
+            return self._json_payload(
+                {"error": "body must be a JSON object naming a "
+                          "'policy' to fork to"}, 400)
+        data, error, status = self._request_snapshot()
+        if data is None:
+            return self._json_payload({"error": error}, status)
+        # The forked universe is private to this handler thread; the
+        # live engine continues unperturbed.  advance_counters=False:
+        # a replay creates no new jobs, and the live engine owns the
+        # process-global id counters.
+        import dataclasses
+
+        from repro.sim.checkpoint import (CheckpointError, fork,
+                                          restore_bytes, resume)
+        try:
+            restored = restore_bytes(data, advance_counters=False)
+            restored = fork(restored, policy=body["policy"],
+                            policy_kwargs=body.get("policy_kwargs"))
+            forked_from = restored.meta.get("forked_from")
+            result = resume(restored)
+        except CheckpointError as exc:
+            return self._json_payload({"error": str(exc)}, 400)
+        except Exception as exc:  # noqa: BLE001 - report to caller
+            return self._json_payload(
+                {"error": f"fork replay failed: {exc}"}, 500)
+        return self._json_payload(
+            {"policy": result.summary.policy,
+             "forked_from": forked_from,
+             "forked_at": restored.meta.get("sim_now"),
+             "summary": dataclasses.asdict(result.summary)}, 200)
+
+    # ------------------------------------------------------------------
     # publishing (engine thread only)
     # ------------------------------------------------------------------
     def payload(self, path: str) -> Optional[Payload]:
@@ -167,6 +569,14 @@ class LiveMonitor:
             if self.pace > 0:
                 snapshot["sim_lag_s"] = self.sim_lag_s
                 snapshot["sim_lag_max_s"] = self.sim_lag_max_s
+        with self._ingest_lock:
+            snapshot["ingest"] = {
+                "received": self.jobs_received,
+                "admitted": self.jobs_admitted,
+                "rejected": self.jobs_rejected,
+                "queued": len(self._ingest_queue),
+                "holds": self._ingest_holds,
+            }
         snapshot_payload = (
             (json.dumps(snapshot, indent=2, sort_keys=True) + "\n")
             .encode("utf-8"), "application/json", 200)
@@ -224,7 +634,23 @@ class LiveMonitor:
         wall_start = time.perf_counter()
         sim_start = sim.now
         registry = self.session.registry
-        while sim.has_non_daemon_work:
+        while True:
+            # Slice boundary: the engine is paused, so this is the one
+            # safe instant to serve snapshot requests and to turn
+            # queued ingest specs into scheduled submissions.
+            self._service_control(sim)
+            admitted = self._admit_ingest(sim)
+            if not sim.has_non_daemon_work and not admitted:
+                with self._ingest_lock:
+                    holding = self._ingest_holds > 0
+                if not holding:
+                    break
+                # Simulation ran dry but an ingest source is still
+                # open: idle at wall pace until jobs arrive or the
+                # source closes.
+                self.publish()
+                time.sleep(SLICE_WALL_S)
+                continue
             run_fn(until=sim.now + slice_sim)
             if self.pace > 0:
                 expected = (sim.now - sim_start) / self.pace
@@ -241,6 +667,9 @@ class LiveMonitor:
                     time.sleep(min(-lag, SLICE_WALL_S))
             else:
                 self.publish()
+        # Final drain so a checkpoint request racing the last slice
+        # cannot hang until its timeout.
+        self._service_control(sim)
         self.publish()
 
     def aggregate(self) -> Dict[str, float]:
@@ -252,7 +681,12 @@ class LiveMonitor:
         if self.pace > 0:
             out["live_pace_sim_per_wall"] = self.pace
             out["live_sim_lag_max_s"] = self.sim_lag_max_s
+        if self.jobs_received:
+            out["live_jobs_received"] = float(self.jobs_received)
+            out["live_jobs_admitted"] = float(self.jobs_admitted)
+            out["live_jobs_rejected"] = float(self.jobs_rejected)
         return out
 
 
-__all__ = ["LiveMonitor", "SLICE_WALL_S"]
+__all__ = ["LiveMonitor", "SLICE_WALL_S", "CONTROL_TIMEOUT_S",
+           "validate_job_spec"]

@@ -44,6 +44,7 @@ batch observability stack always has.
 
 from __future__ import annotations
 
+import atexit
 import json
 import time
 from collections import deque
@@ -104,7 +105,8 @@ class ObsSession:
                  serve: Optional[int] = None,
                  serve_port_file: Optional[str] = None,
                  pace: float = 0.0,
-                 profile: bool = False):
+                 profile: bool = False,
+                 ingest_stdin: bool = False):
         """``max_events`` bounds the in-memory event buffer (a ring:
         the newest events win).  ``stream_log`` writes every observed
         event to a line-buffered JSONL file *as it happens* —
@@ -145,6 +147,14 @@ class ObsSession:
         self.record_sim_events = record_sim_events
         self.run_label = run_label
         self.cluster: Optional["Cluster"] = None
+        #: World components of the observed run, populated by
+        #: :meth:`attach` (policy) and :meth:`bind_run` (the rest).
+        #: The live monitor's control plane (``/checkpoint``, ``/fork``,
+        #: ``/submit``) needs them to snapshot or extend the run.
+        self.policy = None
+        self.collector = None
+        self.jobs = None
+        self.trace_name: Optional[str] = None
         self.lifecycle: Optional[JobLifecycleTracker] = (
             JobLifecycleTracker() if lifecycle else None)
         self.sample_period = sample_period
@@ -155,6 +165,7 @@ class ObsSession:
         self.serve_port_file = serve_port_file
         self.pace = float(pace)
         self.profile = profile
+        self.ingest_stdin = ingest_stdin
         self.window: Optional["WindowAggregator"] = None
         self.health: Optional["HealthEngine"] = None
         self.live: Optional["LiveMonitor"] = None
@@ -178,6 +189,7 @@ class ObsSession:
         if self.cluster is not None:
             raise ValueError("ObsSession is single-use; already attached")
         self.cluster = cluster
+        self.policy = policy
         if self._stream_target is not None:
             if isinstance(self._stream_target, str):
                 # Line-buffered so `tail -f` sees each event as the
@@ -185,6 +197,13 @@ class ObsSession:
                 self._stream = open(self._stream_target, "w",
                                     encoding="utf-8", buffering=1)
                 self._stream_owned = True
+                # Interpreter-exit safety net: a served run killed by
+                # SIGTERM (systemd stop, ^C wrapper scripts) must not
+                # leave a truncated JSONL tail in the streaming log.
+                # The runner CLI converts SIGTERM into SystemExit, so
+                # atexit handlers run; this one closes the log at a
+                # line boundary.  Unregistered on finalize/close.
+                atexit.register(self._atexit_flush)
             else:
                 self._stream = self._stream_target
         bus: EventBus = cluster.obs
@@ -204,6 +223,31 @@ class ObsSession:
                                           self.sample_period).start()
         self._attach_live_plane(cluster, policy)
         return self
+
+    def bind_run(self, collector=None, jobs=None,
+                 trace_name: Optional[str] = None) -> "ObsSession":
+        """Hand the session the run's world components (metrics
+        collector, job list, trace name).  The experiment runner calls
+        this once the world is built; with them bound, a serving
+        session can checkpoint the run (``/checkpoint``), replay it
+        under another policy (``/fork``), and admit streamed jobs
+        (``/submit``) — without them those endpoints answer 503."""
+        self.collector = collector
+        self.jobs = jobs
+        self.trace_name = trace_name
+        return self
+
+    def _atexit_flush(self) -> None:
+        """Close a session-owned stream log at interpreter exit so an
+        interrupted run cannot leave a half-written JSONL line."""
+        stream = self._stream
+        if stream is not None and self._stream_owned and not stream.closed:
+            try:
+                stream.flush()
+                stream.close()
+            except OSError:  # pragma: no cover - exit-path best effort
+                pass
+        self._stream = None
 
     def _attach_live_plane(self, cluster: "Cluster", policy) -> None:
         """Wire the opt-in live-telemetry extensions (window
@@ -237,6 +281,8 @@ class ObsSession:
             self.live = LiveMonitor(
                 self, port=self.serve, pace=self.pace,
                 port_file=self.serve_port_file).start()
+            if self.ingest_stdin:
+                self.live.ingest_stdin()
 
     # ------------------------------------------------------------------
     # engine driving
@@ -366,6 +412,7 @@ class ObsSession:
                     self._streamed_events)
                 if self._stream_owned:
                     self._stream.close()
+                    atexit.unregister(self._atexit_flush)
                 else:
                     self._stream.flush()
                 self._stream = None
@@ -407,6 +454,7 @@ class ObsSession:
         if self._stream is not None:
             if self._stream_owned:
                 self._stream.close()
+                atexit.unregister(self._atexit_flush)
             self._stream = None
 
     def write_trace(self, target: Union[str, TextIO]) -> dict:

@@ -23,6 +23,7 @@ reconfiguration routine).
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass, field
 from typing import Callable, Deque, Dict, List, Optional
 from collections import deque
@@ -30,6 +31,56 @@ from collections import deque
 from repro.cluster.cluster import Cluster
 from repro.cluster.job import Job, JobState
 from repro.cluster.workstation import Workstation
+
+
+class _TransferArrival:
+    """Arrival callback of one migration-transfer attempt.
+
+    A callable class rather than a closure so pending transfers can be
+    pickled into a checkpoint (closures cannot).  ``delay`` is filled
+    in *after* :meth:`Network.migrate` returns — under contention the
+    transfer time is only known once the link queue has been consulted,
+    but the callback object must exist before the call.
+    """
+
+    __slots__ = ("policy", "job", "source", "destination", "image_mb",
+                 "on_arrival", "on_abandoned", "attempt", "failed", "delay")
+
+    def __init__(self, policy: "LoadSharingPolicy", job: Job,
+                 source: Workstation, destination: Workstation,
+                 image_mb: float,
+                 on_arrival: Optional[Callable[[Job], None]],
+                 on_abandoned: Optional[Callable[[Job], None]],
+                 attempt: int, failed: bool):
+        self.policy = policy
+        self.job = job
+        self.source = source
+        self.destination = destination
+        self.image_mb = image_mb
+        self.on_arrival = on_arrival
+        self.on_abandoned = on_abandoned
+        self.attempt = attempt
+        self.failed = failed
+        self.delay = 0.0
+
+    def __call__(self) -> None:
+        job, destination = self.job, self.destination
+        if self.failed or not destination.alive:
+            # The image was lost in flight, or the destination died
+            # while it was on the wire.  The time is spent either
+            # way; release the slot and decide on a retry.
+            job.acct.migration_s += self.delay
+            destination.inbound_jobs -= 1
+            self.policy._transfer_failed(job, self.source, destination,
+                                         self.image_mb, self.on_arrival,
+                                         self.on_abandoned, self.attempt)
+            return
+        job.acct.migration_s += self.delay
+        destination.inbound_jobs -= 1
+        destination.add_job(job)
+        if self.on_arrival is not None:
+            self.on_arrival(job)
+        self.policy.cluster.notify_node_changed(destination)
 
 
 @dataclass
@@ -90,6 +141,10 @@ class LoadSharingPolicy:
         self._obs_job = cluster.obs.channel("cluster.job")
         if cluster.faults is not None:
             cluster.faults.policy = self
+        #: Handle of the next monitor tick, kept so :meth:`retire` can
+        #: cancel it when a checkpoint fork replaces this policy.
+        self._monitor_event = None
+        self._retired = False
         cluster.on_node_changed(self._on_node_changed)
         self._schedule_monitor()
 
@@ -146,20 +201,22 @@ class LoadSharingPolicy:
         job.state = JobState.MIGRATING
         node.inbound_jobs += 1
         delay = self.cluster.network.remote_cost_s
+        self.cluster.network.submit_remote(
+            functools.partial(self._remote_arrival, job, node, delay))
 
-        def arrive() -> None:
-            job.acct.migration_s += delay
-            if not node.alive:
-                # The destination crashed while the submission was in
-                # flight: release the slot and requeue the job.
-                node.inbound_jobs -= 1
-                self._requeue_in_flight(job)
-                return
+    def _remote_arrival(self, job: Job, node: Workstation,
+                        delay: float) -> None:
+        """A remote submission's image landed (or tried to)."""
+        job.acct.migration_s += delay
+        if not node.alive:
+            # The destination crashed while the submission was in
+            # flight: release the slot and requeue the job.
             node.inbound_jobs -= 1
-            node.add_job(job)
-            self.cluster.notify_node_changed(node)
-
-        self.cluster.network.submit_remote(arrive)
+            self._requeue_in_flight(job)
+            return
+        node.inbound_jobs -= 1
+        node.add_job(job)
+        self.cluster.notify_node_changed(node)
 
     def _charge_wait(self, job: Job) -> None:
         started = self._wait_started.pop(job.job_id, None)
@@ -210,8 +267,9 @@ class LoadSharingPolicy:
     # monitoring and migration
     # ------------------------------------------------------------------
     def _schedule_monitor(self) -> None:
-        self.sim.schedule(self.config.monitor_interval_s,
-                          self._monitor_tick, priority=3, daemon=True)
+        self._monitor_event = self.sim.schedule(
+            self.config.monitor_interval_s,
+            self._monitor_tick, priority=3, daemon=True)
 
     def _monitor_tick(self) -> None:
         """Check overloaded nodes once per monitor period.
@@ -237,7 +295,8 @@ class LoadSharingPolicy:
                 self.stats.overload_checks += 1
                 if node.thrashing and not node.reserved:
                     self.handle_overload(node)
-        self._schedule_monitor()
+        if not self._retired:
+            self._schedule_monitor()
 
     def _migratable(self, job: Job) -> bool:
         """A migration must plausibly pay for itself: the job keeps
@@ -297,26 +356,10 @@ class LoadSharingPolicy:
         faults = self.cluster.faults
         failed = faults is not None and faults.migration_transfer_fails()
         destination.inbound_jobs += 1
-
-        def arrive() -> None:
-            if failed or not destination.alive:
-                # The image was lost in flight, or the destination died
-                # while it was on the wire.  The time is spent either
-                # way; release the slot and decide on a retry.
-                job.acct.migration_s += delay
-                destination.inbound_jobs -= 1
-                self._transfer_failed(job, source, destination, image_mb,
-                                      on_arrival, on_abandoned, attempt)
-                return
-            job.acct.migration_s += delay
-            destination.inbound_jobs -= 1
-            destination.add_job(job)
-            if on_arrival is not None:
-                on_arrival(job)
-            self.cluster.notify_node_changed(destination)
-
-        delay = self.cluster.network.migrate(image_mb, arrive)
-        return delay
+        arrive = _TransferArrival(self, job, source, destination, image_mb,
+                                  on_arrival, on_abandoned, attempt, failed)
+        arrive.delay = self.cluster.network.migrate(image_mb, arrive)
+        return arrive.delay
 
     def _transfer_failed(self, job: Job, source: Workstation,
                          destination: Workstation, image_mb: float,
@@ -333,9 +376,9 @@ class LoadSharingPolicy:
                                           backoff)
             self.sim.schedule(
                 backoff,
-                lambda: self._retry_transfer(job, source, destination,
-                                             image_mb, on_arrival,
-                                             on_abandoned, attempt + 1))
+                functools.partial(self._retry_transfer, job, source,
+                                  destination, image_mb, on_arrival,
+                                  on_abandoned, attempt + 1))
             return
         self._abandon_migration(job, source, on_abandoned)
 
@@ -403,6 +446,41 @@ class LoadSharingPolicy:
                          reason="crash", node=node.node_id)
             if not self._try_place(job):
                 self._enqueue_pending(job)
+
+    # ------------------------------------------------------------------
+    # checkpoint fork support
+    # ------------------------------------------------------------------
+    def retire(self) -> None:
+        """Permanently stop this policy's autonomous activity.
+
+        Used when a checkpoint fork replaces the policy mid-run: the
+        monitor tick is cancelled and the node-change listener removed,
+        so the retiree makes no further placement or migration
+        decisions.  Callbacks already in flight (transfer arrivals,
+        retry backoffs) still execute against the shared cluster — they
+        represent work physically on the wire — and land their jobs or
+        requeue them into the pending deque the successor adopted.
+        """
+        self._retired = True
+        if self._monitor_event is not None:
+            self._monitor_event.cancel()
+            self._monitor_event = None
+        self.cluster.remove_node_changed_listener(self._on_node_changed)
+
+    def adopt_pending_from(self, old: "LoadSharingPolicy") -> None:
+        """Take over a retired predecessor's queue state *by reference*.
+
+        Sharing (rather than copying) the deque and the wait/cooldown
+        maps means the predecessor's in-flight callbacks — which hold
+        references to the same objects — keep landing in the queue the
+        successor drains.  Call after :meth:`retire` on ``old``.
+        """
+        self._pending = old._pending
+        self._wait_started = old._wait_started
+        self._last_migration = old._last_migration
+        self.stats.pending_peak = max(self.stats.pending_peak,
+                                      len(self._pending))
+        self._drain_pending()
 
     # ------------------------------------------------------------------
     # policy hooks

@@ -10,22 +10,35 @@ for the cluster models in :mod:`repro.cluster`.  It provides:
   trace replay and periodic samplers;
 * :class:`~repro.sim.rng.RandomStreams` — named, independently seeded
   random streams so that every stochastic component of an experiment is
-  reproducible and independently perturbable.
+  reproducible and independently perturbable;
+* :mod:`~repro.sim.checkpoint` — whole-world checkpoint/restore: a
+  paused run serializes to a schema-versioned snapshot that resumes
+  byte-identically, and ``fork`` replays the remainder under an
+  alternative policy.
 
 All model code schedules *state-recomputation* events rather than
 time-stepping: between events every rate in the system is constant, so
 completions and phase boundaries are computed exactly.
 """
 
+from repro.sim.checkpoint import (CheckpointError, RestoredRun,
+                                  load_checkpoint, restore_bytes,
+                                  save_checkpoint, snapshot_bytes)
 from repro.sim.engine import EventHandle, Simulator, SimulationError
 from repro.sim.process import Process, interrupt
 from repro.sim.rng import RandomStreams
 
 __all__ = [
+    "CheckpointError",
     "EventHandle",
     "Process",
     "RandomStreams",
+    "RestoredRun",
     "SimulationError",
     "Simulator",
     "interrupt",
+    "load_checkpoint",
+    "restore_bytes",
+    "save_checkpoint",
+    "snapshot_bytes",
 ]

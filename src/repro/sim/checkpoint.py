@@ -1,0 +1,301 @@
+"""Checkpoint/restore of a running simulation world.
+
+A checkpoint captures the *entire* dynamic state of a run — engine
+clock, pending-event heap (with sequence counter, so same-timestamp
+tie-breaks replay identically), cluster, columnar state, load
+directory/domain shards, policy (pending queue, cooldowns, reservation
+machinery), fault-injector RNG streams, and the metrics collector —
+into one schema-versioned, compressed file.  ``restore`` reconstructs
+a world that continues **byte-identically** to an uninterrupted run:
+same ``RunSummary``, same event counts (pinned by
+``tests/test_checkpoint_equivalence.py`` across policies x faults x
+domains x columnar modes).
+
+Implementation: the scheduling/fault/load-info layers only ever place
+*picklable* callables on the event heap (bound methods,
+``functools.partial``, small ``__slots__`` callable classes — never
+closures), so the whole object graph serializes with :mod:`pickle`,
+which preserves dict order, float bits, RNG state, shared-object
+identity and cycles.  Two process-global id counters
+(``repro.cluster.job._job_counter``,
+``repro.core.reservation._res_counter``) live outside the graph; their
+current values are stored alongside and merged (``max``) back on
+restore so jobs created *after* a restore (streamed ingest) cannot
+collide with checkpointed ids.
+
+File format: gzip over a pickled *envelope* dict holding only
+primitives — ``format`` magic, ``schema`` version, a ``meta`` summary,
+and the inner world pickle as opaque bytes.  The envelope is decoded
+and validated *before* the world bytes are unpickled, so an unknown or
+newer schema fails with a clear :class:`CheckpointError` instead of an
+arbitrary unpickling error.
+
+Observers are deliberately **not** part of a checkpoint: obs channels
+restore disabled and subscriber-free; a restored run attaches a fresh
+:class:`~repro.obs.session.ObsSession` if it wants telemetry.
+
+``fork`` is the what-if entry point: restore a snapshot, retire the
+checkpointed policy and hand its pending queue to a freshly
+constructed one (possibly a different policy class or different
+thresholds), then :func:`resume` — replaying the identical remainder
+of the workload under an alternative regime (the ``whatif`` experiment
+target compares G vs. V this way).
+"""
+
+from __future__ import annotations
+
+import copy
+import gzip
+import itertools
+import pickle
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+#: File-format magic; rejects arbitrary pickles early.
+MAGIC = "repro-checkpoint"
+
+#: Bump on any incompatible change to the envelope or world layout.
+SCHEMA_VERSION = 1
+
+
+class CheckpointError(RuntimeError):
+    """Raised for unwritable worlds and unreadable/incompatible files."""
+
+
+@dataclass
+class RestoredRun:
+    """A world reconstructed from a checkpoint, ready to resume."""
+
+    cluster: Any
+    policy: Any
+    collector: Any
+    jobs: List[Any]
+    trace_name: str
+    meta: Dict[str, Any]
+
+
+def _counter_value(counter) -> int:
+    """Current value of an ``itertools.count`` without advancing it."""
+    return next(copy.copy(counter))
+
+
+def _build_meta(cluster, policy, jobs, trace_name) -> Dict[str, Any]:
+    """Primitive-only summary readable without unpickling the world."""
+    return {
+        "sim_now": cluster.sim.now,
+        "event_count": cluster.sim.event_count,
+        "policy": policy.name,
+        "trace": trace_name,
+        "num_nodes": cluster.num_nodes,
+        "num_jobs": len(jobs),
+        "finished_jobs": len(cluster.finished_jobs),
+        "domains": cluster.config.domains,
+        "columnar": cluster.config.columnar,
+        "faults": cluster.faults is not None,
+    }
+
+
+# ----------------------------------------------------------------------
+# save
+# ----------------------------------------------------------------------
+def snapshot_bytes(*, cluster, policy, collector, jobs,
+                   trace_name: str) -> bytes:
+    """Serialize a paused run to checkpoint bytes (see module doc)."""
+    import repro.cluster.job as job_mod
+    import repro.core.reservation as reservation_mod
+
+    world = {
+        "cluster": cluster,
+        "policy": policy,
+        "collector": collector,
+        "jobs": jobs,
+        "trace_name": trace_name,
+        "job_counter": _counter_value(job_mod._job_counter),
+        "reservation_counter": _counter_value(reservation_mod._res_counter),
+    }
+    try:
+        world_bytes = pickle.dumps(world, protocol=4)
+    except Exception as exc:
+        raise CheckpointError(
+            f"simulation state is not picklable: {exc!r}; a scheduled "
+            f"callback is probably a closure (see repro.sim.checkpoint)"
+        ) from exc
+    envelope = {
+        "format": MAGIC,
+        "schema": SCHEMA_VERSION,
+        "meta": _build_meta(cluster, policy, jobs, trace_name),
+        "world": world_bytes,
+    }
+    return gzip.compress(pickle.dumps(envelope, protocol=4), compresslevel=6)
+
+
+def save_checkpoint(path: str, *, cluster, policy, collector, jobs,
+                    trace_name: str) -> Dict[str, Any]:
+    """Write a checkpoint file; returns its ``meta`` dict."""
+    data = snapshot_bytes(cluster=cluster, policy=policy,
+                          collector=collector, jobs=jobs,
+                          trace_name=trace_name)
+    with open(path, "wb") as stream:
+        stream.write(data)
+    return _build_meta(cluster, policy, jobs, trace_name)
+
+
+# ----------------------------------------------------------------------
+# load
+# ----------------------------------------------------------------------
+def _decode_envelope(data: bytes) -> Dict[str, Any]:
+    """Decompress and validate the outer envelope (world untouched)."""
+    try:
+        raw = gzip.decompress(data)
+    except OSError as exc:
+        raise CheckpointError(
+            f"not a checkpoint file (gzip layer failed: {exc})") from exc
+    try:
+        envelope = pickle.loads(raw)
+    except Exception as exc:
+        raise CheckpointError(
+            f"not a checkpoint file (envelope undecodable: {exc!r})"
+        ) from exc
+    if not isinstance(envelope, dict) or envelope.get("format") != MAGIC:
+        raise CheckpointError(
+            "not a checkpoint file (missing the "
+            f"{MAGIC!r} format marker)")
+    schema = envelope.get("schema")
+    if schema != SCHEMA_VERSION:
+        raise CheckpointError(
+            f"checkpoint schema {schema!r} is not supported by this "
+            f"build (reads schema {SCHEMA_VERSION}); it was written by "
+            f"a different version of repro — re-create the checkpoint "
+            f"with this build or restore it with the matching one")
+    return envelope
+
+
+def peek_meta(path: str) -> Dict[str, Any]:
+    """Read a checkpoint's ``meta`` summary without restoring it."""
+    with open(path, "rb") as stream:
+        return _decode_envelope(stream.read())["meta"]
+
+
+def restore_bytes(data: bytes,
+                  advance_counters: bool = True) -> RestoredRun:
+    """Reconstruct a world from checkpoint bytes.
+
+    ``advance_counters`` merges the checkpoint's global id counters
+    into this process (``max`` of saved and current), so jobs and
+    reservations created after the restore get collision-free ids.
+    Pass ``False`` when restoring a throwaway side-world (the live
+    server's ``/fork`` endpoint) that must not disturb the id space of
+    the run still executing in this process.
+    """
+    envelope = _decode_envelope(data)
+    world = pickle.loads(envelope["world"])
+    if advance_counters:
+        _advance_global_counters(world)
+    return RestoredRun(cluster=world["cluster"], policy=world["policy"],
+                       collector=world["collector"], jobs=world["jobs"],
+                       trace_name=world["trace_name"],
+                       meta=dict(envelope["meta"]))
+
+
+def load_checkpoint(path: str,
+                    advance_counters: bool = True) -> RestoredRun:
+    """Read and reconstruct a checkpoint file."""
+    with open(path, "rb") as stream:
+        return restore_bytes(stream.read(),
+                             advance_counters=advance_counters)
+
+
+def _advance_global_counters(world: Dict[str, Any]) -> None:
+    import repro.cluster.job as job_mod
+    import repro.core.reservation as reservation_mod
+
+    job_floor = max(world.get("job_counter", 0),
+                    _counter_value(job_mod._job_counter))
+    job_mod._job_counter = itertools.count(job_floor)
+    res_floor = max(world.get("reservation_counter", 0),
+                    _counter_value(reservation_mod._res_counter))
+    reservation_mod._res_counter = itertools.count(res_floor)
+
+
+# ----------------------------------------------------------------------
+# fork + resume
+# ----------------------------------------------------------------------
+def fork(restored: RestoredRun, policy: Optional[str] = None,
+         policy_kwargs: Optional[dict] = None) -> RestoredRun:
+    """Swap a restored run's policy for a what-if replay.
+
+    The checkpointed policy is retired (monitor cancelled, listener
+    removed, reserving periods cancelled); the successor — a different
+    policy name from the runner registry, or the same one under
+    different ``policy_kwargs`` — adopts the pending queue *by
+    reference* so the retiree's in-flight transfer callbacks still
+    land in it.  With ``policy=None`` the restored run is returned
+    unchanged.
+
+    Known limitations, by design: the successor's counters
+    (``PolicyStats``) start at zero — job-level metrics (slowdowns,
+    makespan) still cover the whole run; the cluster topology cannot
+    be resized (the trace's home nodes are fixed); and a retired
+    V-Reconfiguration's SERVING reservations drain normally before
+    their nodes return to the pool.
+    """
+    if policy is None:
+        return restored
+    from repro.experiments.runner import POLICIES
+    from repro.metrics.collector import PolicyPendingProbe
+
+    if policy not in POLICIES:
+        raise CheckpointError(f"unknown fork policy {policy!r}; "
+                              f"choose from {sorted(POLICIES)}")
+    old = restored.policy
+    old.retire()
+    successor = POLICIES[policy](restored.cluster, **(policy_kwargs or {}))
+    successor.adopt_pending_from(old)
+    collector = restored.collector
+    if (collector is not None
+            and isinstance(collector.pending_probe, PolicyPendingProbe)):
+        collector.pending_probe.policy = successor
+    restored.policy = successor
+    restored.meta = dict(restored.meta, policy=successor.name,
+                         forked_from=old.name)
+    return restored
+
+
+def resume(restored: RestoredRun, obs=None):
+    """Run a restored world to completion and summarize it.
+
+    Mirrors the tail of :func:`repro.experiments.runner.run_trace`
+    exactly (that is what makes restore-equivalence a byte-identity
+    claim).  ``obs`` optionally attaches a *fresh* observability
+    session for the remainder of the run.  Returns an
+    :class:`~repro.experiments.runner.ExperimentResult` whose ``trace``
+    is None (the original trace object is not part of a checkpoint;
+    its name survives in ``summary.trace``).
+    """
+    from repro.experiments.runner import ExperimentResult
+    from repro.metrics.summary import summarize_run
+
+    cluster = restored.cluster
+    if obs is not None:
+        obs.attach(cluster, policy=restored.policy)
+        obs.bind_run(collector=restored.collector, jobs=restored.jobs,
+                     trace_name=restored.trace_name)
+        obs.run_engine(cluster.sim)
+    else:
+        cluster.sim.run()
+    summary = summarize_run(restored.policy, restored.jobs,
+                            restored.collector, restored.trace_name)
+    if cluster.faults is not None:
+        summary.extra.update(cluster.faults.extra_metrics())
+    if obs is not None:
+        obs.finalize(summary)
+    return ExperimentResult(summary=summary, cluster=cluster,
+                            policy=restored.policy,
+                            collector=restored.collector, trace=None)
+
+
+__all__ = [
+    "MAGIC", "SCHEMA_VERSION", "CheckpointError", "RestoredRun",
+    "snapshot_bytes", "save_checkpoint", "restore_bytes",
+    "load_checkpoint", "peek_meta", "fork", "resume",
+]

@@ -1,0 +1,42 @@
+"""Regenerate the combined-path golden summaries.
+
+The combined path runs every optional engine layer at once — columnar
+state, 8 load-info domains, the all-fault-classes failure model — on
+the 32-node blocking scenario.  Run only after a *deliberate* change
+to the simulated behavior of any of those layers::
+
+    PYTHONPATH=src python tests/golden/make_combined_golden.py
+"""
+
+import dataclasses
+import json
+import os
+import sys
+
+sys.path.insert(0, os.path.dirname(os.path.dirname(
+    os.path.abspath(__file__))))
+
+from test_determinism import combined_config  # noqa: E402
+
+from repro.experiments.scenario import run_blocking_scenario  # noqa: E402
+
+GOLDEN_DIR = os.path.dirname(os.path.abspath(__file__))
+
+
+def main() -> None:
+    golden = {}
+    for policy in ("g-loadsharing", "v-reconfiguration"):
+        result = run_blocking_scenario(policy, seed=0,
+                                       config=combined_config())
+        golden[f"scenario-combined-{policy}"] = json.loads(
+            json.dumps(dataclasses.asdict(result.summary),
+                       sort_keys=True))
+    path = os.path.join(GOLDEN_DIR, "summaries_combined.json")
+    with open(path, "w") as stream:
+        json.dump(golden, stream, indent=2, sort_keys=True)
+        stream.write("\n")
+    print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,334 @@
+"""Restore-equivalence harness for checkpoint/restore.
+
+The contract under test (DESIGN.md "Checkpoint/restore"): a run that
+is paused, serialized to a snapshot, restored — in the same process or
+another one — and resumed produces *byte-identical* results to the
+uninterrupted run: same ``RunSummary`` (canonical JSON form), same
+executed-event count.  Three layers of pins:
+
+* **grid pin** — every cell of {policy G,V} x {faults off,on} x
+  {domains 1,8} x {columnar off,on} checkpoints mid-run and must
+  resume byte-identically (and the act of checkpointing must not
+  perturb the run that continues past the save);
+* **fuzz property** — hypothesis drives (seed, fault_seed, checkpoint
+  time); identity must hold at any cut point, not just the curated
+  one;
+* **golden fixture** — ``tests/golden/checkpoint_v1.ckpt`` is a
+  committed schema-1 snapshot; it must keep restoring to the pinned
+  summary in ``tests/golden/checkpoint_v1_summary.json``, and
+  unknown/newer schemas must fail with a clear error *before* any
+  world bytes are unpickled.  Regenerate both (only after a
+  deliberate schema bump) with::
+
+      PYTHONPATH=src python tests/golden/make_checkpoint_fixture.py
+"""
+
+import dataclasses
+import gzip
+import json
+import os
+import pickle
+import tempfile
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cluster.job import Job, MemoryProfile
+from repro.experiments.runner import run_trace
+from repro.experiments.scenario import (SCENARIO_CLUSTER,
+                                        run_blocking_scenario)
+from repro.faults import FaultConfig
+from repro.sim.checkpoint import (MAGIC, SCHEMA_VERSION, CheckpointError,
+                                  fork, load_checkpoint, peek_meta,
+                                  restore_bytes, resume, save_checkpoint,
+                                  snapshot_bytes)
+
+GOLDEN_DIR = os.path.join(os.path.dirname(__file__), "golden")
+GOLDEN_CKPT = os.path.join(GOLDEN_DIR, "checkpoint_v1.ckpt")
+GOLDEN_SUMMARY = os.path.join(GOLDEN_DIR, "checkpoint_v1_summary.json")
+
+#: Same all-fault-classes model as tests/test_determinism.py.
+FULL_FAULTS = FaultConfig(mtbf_s=300.0, mttr_s=30.0,
+                          crash_policy="checkpoint",
+                          loadinfo_drop_prob=0.1,
+                          loadinfo_delay_prob=0.1,
+                          migration_failure_prob=0.3)
+
+#: Mid-run cut point: wedges detected and starving, filler churn and
+#: (in faulted cells) crash/recovery cycles in flight, most work ahead.
+CHECKPOINT_AT = 250.0
+
+
+def canonical(summary) -> dict:
+    """JSON round-trip of a RunSummary: the byte-identity currency."""
+    return json.loads(json.dumps(dataclasses.asdict(summary),
+                                 sort_keys=True))
+
+
+def cell_config(domains: int, columnar: bool, faulted: bool):
+    cfg = SCENARIO_CLUSTER.replace(num_nodes=8, domains=domains,
+                                   columnar=columnar)
+    if faulted:
+        cfg = cfg.replace(faults=FULL_FAULTS)
+    return cfg
+
+
+# ----------------------------------------------------------------------
+# grid pin: every configuration axis that changes the event stream
+# ----------------------------------------------------------------------
+@pytest.mark.parametrize("policy", ["g-loadsharing", "v-reconfiguration"])
+@pytest.mark.parametrize("faulted", [False, True],
+                         ids=["nofaults", "faults"])
+@pytest.mark.parametrize("domains", [1, 8],
+                         ids=["flat", "domained"])
+@pytest.mark.parametrize("columnar", [True, False],
+                         ids=["columnar", "objects"])
+def test_restore_resumes_byte_identically(policy, faulted, domains,
+                                          columnar, tmp_path):
+    cfg = cell_config(domains, columnar, faulted)
+    path = str(tmp_path / "cell.ckpt")
+
+    baseline = run_blocking_scenario(policy, seed=1, config=cfg)
+    checkpointed = run_blocking_scenario(policy, seed=1, config=cfg,
+                                         checkpoint_at=CHECKPOINT_AT,
+                                         checkpoint_to=path)
+    # Writing the snapshot must not perturb the run that continues.
+    assert canonical(checkpointed.summary) == canonical(baseline.summary)
+    assert (checkpointed.cluster.sim.event_count
+            == baseline.cluster.sim.event_count)
+
+    resumed = resume(load_checkpoint(path))
+    assert canonical(resumed.summary) == canonical(baseline.summary), \
+        f"restore diverged: {policy} faulted={faulted} " \
+        f"domains={domains} columnar={columnar}"
+    assert (resumed.cluster.sim.event_count
+            == baseline.cluster.sim.event_count)
+    assert resumed.summary.trace == baseline.summary.trace
+
+
+# ----------------------------------------------------------------------
+# fuzz property: identity at arbitrary cut points and seeds
+# ----------------------------------------------------------------------
+@settings(max_examples=8, deadline=None)
+@given(seed=st.integers(0, 3), fault_seed=st.integers(0, 3),
+       cut=st.floats(40.0, 420.0),
+       policy=st.sampled_from(["g-loadsharing", "v-reconfiguration"]))
+def test_restore_identity_fuzzed(seed, fault_seed, cut, policy):
+    cfg = cell_config(domains=8, columnar=True, faulted=False).replace(
+        faults=FULL_FAULTS.replace(fault_seed=fault_seed))
+    baseline = run_blocking_scenario(policy, seed=seed, config=cfg)
+    handle, path = tempfile.mkstemp(suffix=".ckpt")
+    os.close(handle)
+    try:
+        run_blocking_scenario(policy, seed=seed, config=cfg,
+                              checkpoint_at=cut, checkpoint_to=path)
+        resumed = resume(load_checkpoint(path))
+    finally:
+        os.unlink(path)
+    assert canonical(resumed.summary) == canonical(baseline.summary)
+    assert (resumed.cluster.sim.event_count
+            == baseline.cluster.sim.event_count)
+
+
+# ----------------------------------------------------------------------
+# snapshot mechanics
+# ----------------------------------------------------------------------
+def test_peek_meta_reads_without_restoring(tmp_path):
+    path = str(tmp_path / "meta.ckpt")
+    run_blocking_scenario("v-reconfiguration", seed=0,
+                          config=cell_config(1, True, False),
+                          checkpoint_at=CHECKPOINT_AT, checkpoint_to=path)
+    meta = peek_meta(path)
+    assert meta["sim_now"] == CHECKPOINT_AT
+    assert meta["policy"] == "V-Reconfiguration"
+    assert meta["num_nodes"] == 8
+    assert meta["num_jobs"] > 0
+    assert meta["event_count"] > 0
+    assert meta["faults"] is False
+
+
+def test_restore_advances_global_job_counter(tmp_path):
+    path = str(tmp_path / "ids.ckpt")
+    run_blocking_scenario("g-loadsharing", seed=0,
+                          config=cell_config(1, True, False),
+                          checkpoint_at=CHECKPOINT_AT, checkpoint_to=path)
+    restored = load_checkpoint(path)
+    existing = {job.job_id for job in restored.jobs}
+    fresh = Job(program="post-restore", cpu_work_s=1.0,
+                memory=MemoryProfile.constant(10.0))
+    assert fresh.job_id not in existing, \
+        "a job created after restore collided with a checkpointed id"
+
+
+def test_save_checkpoint_returns_meta(tmp_path):
+    result = run_blocking_scenario("g-loadsharing", seed=0,
+                                   config=cell_config(1, True, False))
+    path = str(tmp_path / "done.ckpt")
+    meta = save_checkpoint(path, cluster=result.cluster,
+                           policy=result.policy,
+                           collector=result.collector,
+                           jobs=result.cluster.finished_jobs,
+                           trace_name=result.summary.trace)
+    assert meta == peek_meta(path)
+    assert meta["finished_jobs"] == len(result.cluster.finished_jobs)
+
+
+def test_unpicklable_world_raises_checkpoint_error():
+    result = run_blocking_scenario("g-loadsharing", seed=0,
+                                   config=cell_config(1, True, False))
+    result.cluster.sim.schedule(1.0, lambda: None)  # closure on the heap
+    with pytest.raises(CheckpointError, match="not picklable"):
+        snapshot_bytes(cluster=result.cluster, policy=result.policy,
+                       collector=result.collector, jobs=[],
+                       trace_name="broken")
+
+
+# ----------------------------------------------------------------------
+# schema versioning: clear errors before any world unpickling
+# ----------------------------------------------------------------------
+def test_newer_schema_is_rejected_with_clear_error():
+    envelope = {"format": MAGIC, "schema": SCHEMA_VERSION + 1,
+                "meta": {}, "world": b"never-unpickled"}
+    data = gzip.compress(pickle.dumps(envelope, protocol=4))
+    with pytest.raises(CheckpointError, match="schema"):
+        restore_bytes(data)
+
+
+def test_missing_schema_is_rejected():
+    envelope = {"format": MAGIC, "meta": {}, "world": b""}
+    data = gzip.compress(pickle.dumps(envelope, protocol=4))
+    with pytest.raises(CheckpointError, match="schema"):
+        restore_bytes(data)
+
+
+def test_non_checkpoint_bytes_are_rejected():
+    with pytest.raises(CheckpointError, match="gzip"):
+        restore_bytes(b"definitely not a checkpoint")
+    with pytest.raises(CheckpointError, match="format marker"):
+        restore_bytes(gzip.compress(pickle.dumps({"x": 1})))
+    with pytest.raises(CheckpointError, match="undecodable"):
+        restore_bytes(gzip.compress(b"\x80\xff garbage"))
+
+
+# ----------------------------------------------------------------------
+# golden fixture: cross-version restore pin
+# ----------------------------------------------------------------------
+def test_golden_checkpoint_restores_to_pinned_summary():
+    with open(GOLDEN_SUMMARY) as stream:
+        pinned = json.load(stream)
+    restored = load_checkpoint(GOLDEN_CKPT)
+    assert restored.meta["sim_now"] == pinned["meta"]["sim_now"]
+    result = resume(restored)
+    assert canonical(result.summary) == pinned["summary"], \
+        "the committed schema-1 checkpoint no longer restores to its " \
+        "pinned summary; if a world-layout change was intentional, " \
+        "bump SCHEMA_VERSION and regenerate the fixture " \
+        "(tests/golden/make_checkpoint_fixture.py)"
+    assert result.cluster.sim.event_count == pinned["event_count"]
+
+
+# ----------------------------------------------------------------------
+# fork: what-if replay semantics
+# ----------------------------------------------------------------------
+def _checkpoint_of(policy, tmp_path, faulted=False):
+    path = str(tmp_path / "fork.ckpt")
+    run_blocking_scenario(policy, seed=0,
+                          config=cell_config(1, True, faulted),
+                          checkpoint_at=CHECKPOINT_AT, checkpoint_to=path)
+    return path
+
+
+def test_fork_swaps_policy_and_adopts_pending(tmp_path):
+    path = _checkpoint_of("g-loadsharing", tmp_path)
+    restored = load_checkpoint(path)
+    old = restored.policy
+    pending_before = list(old._pending)
+    restored = fork(restored, policy="v-reconfiguration")
+    assert restored.policy is not old
+    assert restored.policy.name == "V-Reconfiguration"
+    assert restored.policy._pending is old._pending, \
+        "pending queue must be adopted by reference (in-flight " \
+        "transfer callbacks still append to the old object)"
+    assert list(restored.policy._pending) == pending_before
+    assert restored.meta["forked_from"] == "G-Loadsharing"
+    result = resume(restored)
+    assert result.summary.policy == "V-Reconfiguration"
+    assert result.summary.num_jobs == len(restored.jobs)
+
+
+def test_fork_retires_old_policy_monitor(tmp_path):
+    path = _checkpoint_of("v-reconfiguration", tmp_path)
+    restored = load_checkpoint(path)
+    old = restored.policy
+    fork(restored, policy="g-loadsharing")
+    assert old._retired
+    assert old._monitor_event is None
+    assert old._on_node_changed not in restored.cluster._node_listeners
+
+
+def test_fork_unknown_policy_raises(tmp_path):
+    path = _checkpoint_of("g-loadsharing", tmp_path)
+    with pytest.raises(CheckpointError, match="unknown fork policy"):
+        fork(load_checkpoint(path), policy="round-robin")
+
+
+def test_fork_none_is_identity(tmp_path):
+    path = _checkpoint_of("g-loadsharing", tmp_path)
+    restored = load_checkpoint(path)
+    assert fork(restored, policy=None) is restored
+
+
+def test_forked_replay_differs_from_continuation(tmp_path):
+    """The branch point matters: under the blocking scenario the two
+    policies genuinely diverge from the same snapshot."""
+    path = _checkpoint_of("g-loadsharing", tmp_path)
+    continued = resume(load_checkpoint(path))
+    forked = resume(fork(load_checkpoint(path),
+                         policy="v-reconfiguration"))
+    assert (forked.summary.total_paging_time_s
+            < continued.summary.total_paging_time_s)
+
+
+# ----------------------------------------------------------------------
+# CLI round trip
+# ----------------------------------------------------------------------
+def test_runner_cli_checkpoint_then_restore_matches(tmp_path, capsys):
+    from repro.experiments.runner import main
+
+    ck = str(tmp_path / "cli.ckpt")
+    full = str(tmp_path / "full.json")
+    resumed = str(tmp_path / "resumed.json")
+    assert main(["--trace", "3", "--scale", "0.1",
+                 "--policy", "g-loadsharing",
+                 "--checkpoint-at", "500", "--checkpoint-to", ck,
+                 "--export-json", full]) == 0
+    assert main(["--restore-from", ck,
+                 "--export-json", resumed]) == 0
+    capsys.readouterr()
+    with open(full) as stream:
+        uninterrupted = json.load(stream)
+    with open(resumed) as stream:
+        restored = json.load(stream)
+    assert uninterrupted == restored
+
+
+def test_runner_cli_flag_validation(tmp_path):
+    from repro.experiments.runner import main
+
+    with pytest.raises(SystemExit):
+        main(["--checkpoint-at", "10"])  # missing --checkpoint-to
+    with pytest.raises(SystemExit):
+        main(["--restore-from", "x.ckpt", "--checkpoint-at", "10",
+              "--checkpoint-to", "y.ckpt"])
+    with pytest.raises(SystemExit):
+        main(["--submit-stdin"])  # requires --serve
+
+
+def test_run_trace_rejects_half_checkpoint_args():
+    from repro.workload.generator import build_trace
+    from repro.workload.programs import WorkloadGroup
+
+    trace = build_trace(WorkloadGroup.SPEC, 3, seed=0, num_nodes=8)
+    with pytest.raises(ValueError, match="go together"):
+        run_trace(trace, "g-loadsharing", SCENARIO_CLUSTER.replace(),
+                  checkpoint_at=10.0)

@@ -15,6 +15,14 @@ Three layers of pins:
 * **process-boundary property** — a faulted sweep executed through
   worker processes returns summaries identical to the serial path
   (the :class:`RunSpec` carries the :class:`FaultConfig` by value).
+* **combined-path pin** — the columnar + domain-sharded + faulted
+  configuration (every optional engine layer at once) is pinned to
+  ``tests/golden/summaries_combined.json``, and a mid-run
+  checkpoint/restore on that path must resume byte-identically to the
+  pin (the checkpoint harness crossing all the layers together).
+  Regenerate after a deliberate behavior change::
+
+      PYTHONPATH=src python tests/golden/make_combined_golden.py
 """
 
 import dataclasses
@@ -31,6 +39,8 @@ from repro.workload.programs import WorkloadGroup
 
 GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden",
                            "summaries_prefaults.json")
+COMBINED_GOLDEN_PATH = os.path.join(os.path.dirname(__file__), "golden",
+                                    "summaries_combined.json")
 
 #: A failure model that exercises every fault class in one run.
 #: ``checkpoint`` keeps runtimes bounded: under ``requeue`` at this
@@ -82,6 +92,46 @@ def test_faults_disabled_adds_no_extra_keys():
                             seed=0, scale=0.25)
     assert not any(key.startswith("fault.")
                    for key in result.summary.extra)
+
+
+# ----------------------------------------------------------------------
+# combined path: columnar + domained + faulted, pinned and restorable
+# ----------------------------------------------------------------------
+def combined_config():
+    """Every optional engine layer at once: columnar state (default),
+    8 load-info domains, and the all-fault-classes failure model."""
+    from repro.experiments.scenario import SCENARIO_CLUSTER
+
+    return SCENARIO_CLUSTER.replace(domains=8, faults=FULL_FAULTS)
+
+
+def test_combined_path_matches_golden():
+    with open(COMBINED_GOLDEN_PATH) as stream:
+        golden = json.load(stream)
+    for policy in ("g-loadsharing", "v-reconfiguration"):
+        result = run_blocking_scenario(policy, seed=0,
+                                       config=combined_config())
+        assert canonical(result.summary) == \
+            golden[f"scenario-combined-{policy}"], \
+            f"combined columnar+domained+faulted {policy} run diverged"
+
+
+def test_combined_path_restores_byte_identically(tmp_path):
+    """Mid-run checkpoint/restore determinism on the combined path:
+    the restored remainder must land exactly on the committed golden
+    (same currency as the uninterrupted pin above)."""
+    from repro.sim.checkpoint import load_checkpoint, resume
+
+    with open(COMBINED_GOLDEN_PATH) as stream:
+        golden = json.load(stream)
+    for policy in ("g-loadsharing", "v-reconfiguration"):
+        path = str(tmp_path / f"{policy}.ckpt")
+        run_blocking_scenario(policy, seed=0, config=combined_config(),
+                              checkpoint_at=250.0, checkpoint_to=path)
+        resumed = resume(load_checkpoint(path))
+        assert canonical(resumed.summary) == \
+            golden[f"scenario-combined-{policy}"], \
+            f"combined-path restore diverged for {policy}"
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,112 @@
+"""The what-if replay experiment (checkpoint-branched policy race).
+
+The experiment's claim rests on the checkpoint layer: every branch
+starts from the same serialized world, so the continued branch must be
+*byte-identical* to the uninterrupted baseline (the built-in
+self-check), and forked branches differ only by the policy decision.
+"""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.experiments.__main__ import main
+from repro.experiments.whatif import (DEFAULT_POLICIES,
+                                      run_whatif_experiment)
+
+
+def canonical(summary) -> dict:
+    return json.loads(json.dumps(dataclasses.asdict(summary),
+                                 sort_keys=True))
+
+
+@pytest.fixture(scope="module")
+def report():
+    return run_whatif_experiment(seed=0, branch_at=200.0,
+                                 num_nodes=8)
+
+
+def test_continued_branch_is_byte_identical_to_baseline(report):
+    continued = [b for b in report.branches if not b.forked]
+    assert len(continued) == 1
+    assert canonical(continued[0].result.summary) == \
+        canonical(report.baseline.summary)
+
+
+def test_forked_branch_swaps_policy(report):
+    forked = [b for b in report.branches if b.forked]
+    assert len(forked) == 1
+    assert forked[0].result.summary.policy == "V-Reconfiguration"
+    assert "(continued)" not in forked[0].label
+    assert report.branches[0].label.endswith("(continued)")
+
+
+def test_fork_resolves_blocking_earlier_than_continuation(report):
+    by_key = {b.policy_key: b.result.summary for b in report.branches}
+    assert by_key["v-reconfiguration"].total_paging_time_s < \
+        by_key["g-loadsharing"].total_paging_time_s
+
+
+def test_render_mentions_every_branch(report):
+    text = report.render()
+    assert "G-Loadsharing (continued)" in text
+    assert "V-Reconfiguration" in text
+    assert "average slowdown" in text
+    assert "t=200s" in text
+
+
+def test_rows_cover_all_metrics_and_branches(report):
+    rows = report.rows()
+    metrics = {row["metric"] for row in rows}
+    assert {"average slowdown", "makespan (s)",
+            "total paging time (s)", "migrations"} <= metrics
+    for row in rows:
+        for branch in report.branches:
+            assert branch.label in row
+
+
+def test_write_report_emits_selfcontained_html(report, tmp_path):
+    target = str(tmp_path / "whatif.html")
+    report.write_report(target)
+    with open(target) as stream:
+        doc = stream.read()
+    assert "<!doctype html>" in doc
+    assert "V-Reconfiguration" in doc
+    assert "class=best" in doc  # best-value highlighting present
+
+
+def test_keeps_snapshot_when_path_given(tmp_path):
+    ckpt = str(tmp_path / "branch.ckpt")
+    run_whatif_experiment(seed=0, branch_at=150.0, num_nodes=8,
+                          policies=("g-loadsharing",),
+                          checkpoint_path=ckpt)
+    from repro.sim.checkpoint import peek_meta
+    meta = peek_meta(ckpt)
+    assert meta["sim_now"] == 150.0
+    assert meta["policy"] == "G-Loadsharing"
+
+
+def test_default_policies_are_the_papers_contenders():
+    assert DEFAULT_POLICIES == ("g-loadsharing", "v-reconfiguration")
+
+
+class TestCli:
+    def test_whatif_flags_require_whatif_target(self):
+        with pytest.raises(SystemExit):
+            main(["scenario", "--whatif-at", "300"])
+
+    def test_whatif_target_runs_and_reports(self, tmp_path, capsys):
+        html_path = str(tmp_path / "whatif.html")
+        ckpt_path = str(tmp_path / "kept.ckpt")
+        assert main(["whatif", "--whatif-at", "250",
+                     "--report", html_path,
+                     "--whatif-checkpoint", ckpt_path]) == 0
+        out = capsys.readouterr().out
+        assert "What-if replay" in out
+        assert "kept snapshot" in out
+        assert "HTML comparison report" in out
+        with open(html_path) as stream:
+            assert "What-if replay" in stream.read()
+        from repro.sim.checkpoint import peek_meta
+        assert peek_meta(ckpt_path)["sim_now"] == 250.0
